@@ -1,0 +1,83 @@
+"""Shared runner for the method-comparison figures (9, 10, 12, 13)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from _harness import Table, emit_chart, run_all_methods
+
+from repro.mapreduce.config import ClusterConfig
+from repro.relational.query import JoinQuery
+from repro.reporting import bar_chart
+
+METHODS = ("ours", "ysmart", "hive", "pig")
+
+
+def comparison_figure(
+    title: str,
+    filename: str,
+    query_ids: Sequence[int],
+    volumes: Sequence[int],
+    config: ClusterConfig,
+    query_factory: Callable[[int, int], JoinQuery],
+) -> Dict[int, Dict[int, Dict[str, float]]]:
+    """Run every (query, volume, method) cell and emit the figure table.
+
+    Returns ``{query_id: {volume: {method: makespan_s}}}``.
+    """
+    results: Dict[int, Dict[int, Dict[str, float]]] = {}
+    table = Table(title, ["query", "volume"] + list(METHODS) + ["ours_vs_ysmart"])
+    for query_id in query_ids:
+        results[query_id] = {}
+        for volume in volumes:
+            query = query_factory(query_id, volume)
+            reports = run_all_methods(query, config)
+            times = {m: reports[m].makespan_s for m in METHODS}
+            results[query_id][volume] = times
+            table.add(
+                f"Q{query_id}",
+                f"{volume}GB",
+                *[round(times[m], 1) for m in METHODS],
+                f"{times['ysmart'] / times['ours']:.2f}x",
+            )
+    table.emit(filename)
+    # One grouped bar chart per query, shaped like the paper's figure.
+    charts = []
+    for query_id in query_ids:
+        volumes_here = sorted(results[query_id])
+        charts.append(
+            bar_chart(
+                f"{title} — Q{query_id}",
+                [f"{v}GB" for v in volumes_here],
+                {
+                    m: [round(results[query_id][v][m], 1) for v in volumes_here]
+                    for m in METHODS
+                },
+                unit="s",
+            )
+        )
+    emit_chart(filename.replace(".txt", "_chart.txt"), "\n\n".join(charts))
+    return results
+
+
+def check_figure_shapes(results, loose: float = 1.45) -> None:
+    """The invariants all four comparison figures share.
+
+    * our method is never substantially worse than YSmart (the paper's
+      strongest competitor): within ``loose`` of it on every cell, and at
+      least as good on average;
+    * Pig is the slowest system on every cell;
+    * every method's time grows with the data volume.
+    """
+    ratios = []
+    for per_query in results.values():
+        volumes = sorted(per_query)
+        for volume in volumes:
+            times = per_query[volume]
+            assert times["ours"] <= times["ysmart"] * loose, times
+            assert times["pig"] >= times["hive"] * 0.99, times
+            ratios.append(times["ysmart"] / times["ours"])
+        for method in METHODS:
+            series = [per_query[v][method] for v in volumes]
+            assert series == sorted(series), (method, series)
+    assert sum(ratios) / len(ratios) >= 1.0

@@ -1,0 +1,86 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper: it runs the
+corresponding experiment on the simulated cluster, prints the same rows /
+series the paper reports, and writes them to ``benchmarks/results/``.
+Absolute numbers are simulator-scale; the *shapes* (who wins, by what
+factor, where curves bend) are the reproduction target — see
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.baselines import HivePlanner, PigPlanner, YSmartPlanner
+from repro.core.executor import PlanExecutor
+from repro.core.planner import ThetaJoinPlanner
+from repro.mapreduce.config import ClusterConfig
+from repro.mapreduce.counters import ExecutionReport
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.relational.query import JoinQuery
+from repro.reporting import ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Method order used in every comparison table (matches the paper's bars).
+METHOD_PLANNERS = (
+    ("ours", ThetaJoinPlanner),
+    ("ysmart", YSmartPlanner),
+    ("hive", HivePlanner),
+    ("pig", PigPlanner),
+)
+
+
+def quick_mode() -> bool:
+    """REPRO_QUICK=1 trims sweeps for smoke runs."""
+    return os.environ.get("REPRO_QUICK", "") == "1"
+
+
+def run_method(method: str, query: JoinQuery, config: ClusterConfig) -> ExecutionReport:
+    """Plan + execute one query with one system; returns its report."""
+    planner_cls = dict(METHOD_PLANNERS)[method]
+    plan = planner_cls(config).plan(query)
+    outcome = PlanExecutor(SimulatedCluster(config)).execute(plan, query)
+    return outcome.report
+
+
+def run_all_methods(
+    query: JoinQuery, config: ClusterConfig
+) -> Dict[str, ExecutionReport]:
+    """All four systems on one query; asserts they agree on the answer."""
+    reports: Dict[str, ExecutionReport] = {}
+    for method, _ in METHOD_PLANNERS:
+        reports[method] = run_method(method, query, config)
+    counts = {r.output_records for r in reports.values()}
+    assert len(counts) == 1, f"methods disagree on {query.name}: {counts}"
+    return reports
+
+
+class Table(ResultTable):
+    """A :class:`repro.reporting.ResultTable` that persists into
+    ``benchmarks/results/`` (text plus a markdown twin for EXPERIMENTS.md)."""
+
+    def emit(self, filename: str) -> str:
+        """Print the table and persist it under benchmarks/results/."""
+        text = self.render()
+        print("\n" + text + "\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+        stem = filename.rsplit(".", 1)[0]
+        self.save(RESULTS_DIR / f"{stem}.md", markdown=True)
+        return text
+
+
+def emit_chart(filename: str, text: str) -> None:
+    """Persist an ASCII chart next to its figure's table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+    print("\n" + text + "\n")
+
+
+def once(benchmark, fn: Callable[[], object]):
+    """Run a harness function exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

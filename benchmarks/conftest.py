@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Make `_harness` importable when pytest is run from the repository root.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,118 @@
+"""Ablation: one multi-way MapReduce job vs a pair-wise cascade.
+
+Section 1's central observation: under some conditions a multi-way
+theta-join evaluated in ONE job beats a sequence of pair-wise jobs
+(fewer passes over intermediates), and under others it does not (the
+hyper-cube duplication outweighs the savings).  This ablation sweeps the
+per-edge selectivity of a 3-relation chain and reports both strategies,
+exposing the crossover the paper's planner navigates.
+"""
+
+from _comparison import METHODS  # noqa: F401  (documented dependency)
+from _harness import Table, once, quick_mode
+
+from repro.core.executor import PlanExecutor
+from repro.core.plan import (
+    STRATEGY_HYPERCUBE,
+    STRATEGY_ONEBUCKET,
+    ExecutionPlan,
+    InputRef,
+    PlannedJob,
+)
+from repro.mapreduce.config import ClusterConfig
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.utils import GB
+from repro.workloads.synthetic import chain_query
+
+ROWS = 110
+VOLUME_GB = 30
+
+
+def single_job_plan(query, config):
+    aliases = tuple(sorted(query.relations))
+    return ExecutionPlan(
+        name="single",
+        method="ours",
+        query_name=query.name,
+        jobs=[
+            PlannedJob(
+                job_id="one",
+                strategy=STRATEGY_HYPERCUBE,
+                inputs=tuple(InputRef.base(a) for a in aliases),
+                condition_ids=query.condition_ids,
+                num_reducers=32,
+                units=config.total_units,
+            )
+        ],
+        total_units=config.total_units,
+    )
+
+
+def cascade_plan(query, config):
+    aliases = list(sorted(query.relations))
+    jobs = [
+        PlannedJob(
+            job_id="s1",
+            strategy=STRATEGY_ONEBUCKET,
+            inputs=(InputRef.base(aliases[0]), InputRef.base(aliases[1])),
+            condition_ids=(1,),
+            num_reducers=32,
+            units=config.total_units,
+        ),
+        PlannedJob(
+            job_id="s2",
+            strategy=STRATEGY_ONEBUCKET,
+            inputs=(InputRef.job("s1"), InputRef.base(aliases[2])),
+            condition_ids=(2,),
+            num_reducers=32,
+            units=config.total_units,
+            depends_on=("s1",),
+        ),
+    ]
+    return ExecutionPlan(
+        name="cascade", method="ysmart", query_name=query.name,
+        jobs=jobs, total_units=config.total_units,
+    )
+
+
+def run():
+    selectivities = [0.02, 0.3] if quick_mode() else [0.01, 0.05, 0.15, 0.3, 0.5]
+    config = ClusterConfig()
+    table = Table(
+        "Ablation — single multi-way MRJ vs pair-wise cascade "
+        f"(3-relation chain, {ROWS} rows/relation, {VOLUME_GB}GB each)",
+        ["edge_selectivity", "single_job_s", "cascade_s", "winner"],
+    )
+    outcomes = {}
+    for selectivity in selectivities:
+        query = chain_query(
+            3, ROWS, selectivity=selectivity, seed=11,
+            bytes_per_row=VOLUME_GB * GB // ROWS,
+        )
+        single = PlanExecutor(SimulatedCluster(config)).execute(
+            single_job_plan(query, config), query
+        )
+        cascade = PlanExecutor(SimulatedCluster(config)).execute(
+            cascade_plan(query, config), query
+        )
+        assert single.report.output_records == cascade.report.output_records
+        s, c = single.report.makespan_s, cascade.report.makespan_s
+        outcomes[selectivity] = (s, c)
+        table.add(
+            selectivity, round(s, 1), round(c, 1),
+            "single" if s < c else "cascade",
+        )
+    table.emit("ablation_single_vs_cascade.txt")
+    return outcomes
+
+
+def test_single_vs_cascade_crossover(benchmark):
+    outcomes = once(benchmark, run)
+    sels = sorted(outcomes)
+    # At high selectivity (fat intermediates) the single job must win:
+    # the cascade pays to materialise and re-shuffle the intermediate.
+    fat_single, fat_cascade = outcomes[sels[-1]]
+    assert fat_single < fat_cascade
+    # The cascade's relative cost grows with selectivity.
+    ratios = [outcomes[s][1] / outcomes[s][0] for s in sels]
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,35 @@
+"""Figure 10: mobile queries Q1-Q4 at 20/100/500 GB, kP <= 64.
+
+Same grid as Figure 9 with the processing units capped at 64.  The
+paper's headline observation is that the advantage of the kP-aware
+planner grows when units are scarce (up to ~50% savings on Q4).
+"""
+
+from _comparison import check_figure_shapes, comparison_figure
+from _harness import once, quick_mode
+
+from repro.mapreduce.config import PAPER_CLUSTER_KP64
+from repro.workloads.mobile import mobile_benchmark_query
+
+
+def run():
+    volumes = [20, 100] if quick_mode() else [20, 100, 500]
+    return comparison_figure(
+        "Figure 10 — mobile Q1-Q4 execution time (simulated s), kP <= 64",
+        "fig10_mobile_kp64.txt",
+        query_ids=(1, 2, 3, 4),
+        volumes=volumes,
+        config=PAPER_CLUSTER_KP64,
+        query_factory=mobile_benchmark_query,
+    )
+
+
+def test_fig10_mobile_kp64(benchmark):
+    results = once(benchmark, run)
+    check_figure_shapes(results)
+    # Constrained units hurt the baselines at least as much as our method
+    # on the heaviest query (the paper's central kP-awareness claim is
+    # checked cross-figure in EXPERIMENTS.md).
+    heaviest = results[4]
+    biggest = max(heaviest)
+    assert heaviest[biggest]["ours"] <= heaviest[biggest]["hive"]

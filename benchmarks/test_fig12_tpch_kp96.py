@@ -1,0 +1,33 @@
+"""Figure 12: TPC-H Q7/Q17/Q18/Q21 at 200/500/1000 GB, kP <= 96.
+
+Four systems on the theta-amended TPC-H queries.  Paper shapes: our
+method saves ~30% on average over YSmart; YSmart at or ahead of Hive;
+Pig slowest; everything scales with volume.
+"""
+
+from _comparison import check_figure_shapes, comparison_figure
+from _harness import once, quick_mode
+
+from repro.mapreduce.config import PAPER_CLUSTER
+from repro.workloads.tpch import tpch_benchmark_query
+
+
+def run():
+    volumes = [200, 500] if quick_mode() else [200, 500, 1000]
+    return comparison_figure(
+        "Figure 12 — TPC-H execution time (simulated s), kP <= 96",
+        "fig12_tpch_kp96.txt",
+        query_ids=(7, 17, 18, 21),
+        volumes=volumes,
+        config=PAPER_CLUSTER,
+        query_factory=tpch_benchmark_query,
+    )
+
+
+def test_fig12_tpch_kp96(benchmark):
+    results = once(benchmark, run)
+    check_figure_shapes(results)
+    # YSmart never loses to Hive on these queries (job merging + 1-bucket).
+    for per_query in results.values():
+        for times in per_query.values():
+            assert times["ysmart"] <= times["hive"] * 1.05

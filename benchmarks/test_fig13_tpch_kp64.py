@@ -1,0 +1,29 @@
+"""Figure 13: TPC-H Q7/Q17/Q18/Q21 at 200/500/1000 GB, kP <= 64.
+
+The unit-constrained rerun of Figure 12, where the paper reports its
+largest speedups (up to ~150% over YSmart) thanks to kP-aware selection
+and scheduling.
+"""
+
+from _comparison import check_figure_shapes, comparison_figure
+from _harness import once, quick_mode
+
+from repro.mapreduce.config import PAPER_CLUSTER_KP64
+from repro.workloads.tpch import tpch_benchmark_query
+
+
+def run():
+    volumes = [200, 500] if quick_mode() else [200, 500, 1000]
+    return comparison_figure(
+        "Figure 13 — TPC-H execution time (simulated s), kP <= 64",
+        "fig13_tpch_kp64.txt",
+        query_ids=(7, 17, 18, 21),
+        volumes=volumes,
+        config=PAPER_CLUSTER_KP64,
+        query_factory=tpch_benchmark_query,
+    )
+
+
+def test_fig13_tpch_kp64(benchmark):
+    results = once(benchmark, run)
+    check_figure_shapes(results)

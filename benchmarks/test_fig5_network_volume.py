@@ -1,0 +1,47 @@
+"""Figure 5: network volume growth as reduce tasks are added.
+
+The paper illustrates (for a 3-relation cube with |Ri|=|Rj|=|Rk|) how the
+total network volume — the duplication score of Equation 7 — grows from
+|Ri|+|Rj|+|Rk| at one reduce task through the layouts of Fig. 5(b)-(e)
+as kR increases.  We regenerate the series with the Hilbert partitioner
+and check it stays within the best layouts the figure enumerates.
+"""
+
+from _harness import Table, once
+
+from repro.core.partitioner import HypercubePartitioner
+
+CARD = 64  # |Ri| = |Rj| = |Rk|
+
+
+def series():
+    table = Table(
+        "Figure 5 — network volume (tuples copied) vs number of reduce tasks, "
+        f"|Ri|=|Rj|=|Rk|={CARD}",
+        ["kR", "network_volume", "paper_best_layout", "ratio_to_kr1"],
+    )
+    base = 3 * CARD
+    # The best layouts the paper draws: (a) R+R+R, (c) 2R+R+2R... expressed
+    # as multiples of |R| for kR = 1, 2, 4.
+    paper_best = {1: 3 * CARD, 2: 5 * CARD, 4: 9 * CARD}
+    volumes = {}
+    for k in (1, 2, 4, 8, 16):
+        partition = HypercubePartitioner([CARD, CARD, CARD], k, bits=3)
+        volume = partition.duplication_score()
+        volumes[k] = volume
+        table.add(k, volume, paper_best.get(k, "-"), round(volume / base, 2))
+    table.emit("fig5_network_volume.txt")
+    return volumes
+
+
+def test_fig5_network_volume(benchmark):
+    volumes = once(benchmark, series)
+    # Monotone growth with kR (the figure's message).
+    ks = sorted(volumes)
+    assert [volumes[k] for k in ks] == sorted(volumes[k] for k in ks)
+    # kR = 1 copies every tuple exactly once.
+    assert volumes[1] == 3 * CARD
+    # The Hilbert layout stays within 2x of the figure's hand-drawn best
+    # layouts at the drawn points.
+    assert volumes[2] <= 2 * 5 * CARD
+    assert volumes[4] <= 2 * 9 * CARD

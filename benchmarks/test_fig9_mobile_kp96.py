@@ -1,0 +1,30 @@
+"""Figure 9: mobile queries Q1-Q4 at 20/100/500 GB, kP <= 96.
+
+Four systems on the four CDR queries across three data volumes with the
+full 96 processing units available.  Expected shapes (paper): our method
+at or near YSmart on the simple queries, clearly ahead of Hive/Pig, with
+growing advantage on the complex queries; Pig slowest throughout.
+"""
+
+from _comparison import check_figure_shapes, comparison_figure
+from _harness import once, quick_mode
+
+from repro.mapreduce.config import PAPER_CLUSTER
+from repro.workloads.mobile import mobile_benchmark_query
+
+
+def run():
+    volumes = [20, 100] if quick_mode() else [20, 100, 500]
+    return comparison_figure(
+        "Figure 9 — mobile Q1-Q4 execution time (simulated s), kP <= 96",
+        "fig9_mobile_kp96.txt",
+        query_ids=(1, 2, 3, 4),
+        volumes=volumes,
+        config=PAPER_CLUSTER,
+        query_factory=mobile_benchmark_query,
+    )
+
+
+def test_fig9_mobile_kp96(benchmark):
+    results = once(benchmark, run)
+    check_figure_shapes(results)

@@ -1,0 +1,52 @@
+"""Extended TPC-H coverage: Q3 / Q5 / Q10 at one paper volume.
+
+The paper reports "we test almost all of the 21 benchmark queries" and
+presents four; this benchmark extends the comparison to three more
+classic multi-way join queries (amended with inequality predicates the
+same way), checking that the paper-level invariants — our method never
+substantially behind YSmart, Pig slowest, all systems agreeing on the
+answer — carry beyond the presented set.
+"""
+
+from _harness import Table, once, quick_mode, run_all_methods
+
+from repro.mapreduce.config import ClusterConfig
+from repro.workloads.tpch import tpch_benchmark_query
+
+METHODS = ("ours", "ysmart", "hive", "pig")
+QUERY_IDS = (3, 5, 10)
+VOLUME_GB = 200
+
+
+def run():
+    config = ClusterConfig()  # kP <= 96
+    query_ids = QUERY_IDS[:2] if quick_mode() else QUERY_IDS
+    table = Table(
+        f"Extended TPC-H queries (simulated s), {VOLUME_GB}GB, kP <= 96",
+        ["query"] + list(METHODS) + ["ours_vs_ysmart"],
+    )
+    results = {}
+    for query_id in query_ids:
+        query = tpch_benchmark_query(query_id, VOLUME_GB)
+        reports = run_all_methods(query, config)
+        times = {m: reports[m].makespan_s for m in METHODS}
+        results[query_id] = times
+        table.add(
+            f"Q{query_id}",
+            *[round(times[m], 1) for m in METHODS],
+            f"{times['ysmart'] / times['ours']:.2f}x",
+        )
+    table.emit("tpch_extended.txt")
+    return results
+
+
+def test_tpch_extended(benchmark):
+    results = once(benchmark, run)
+    for query_id, times in results.items():
+        # Our planner stays competitive with YSmart on every query...
+        assert times["ours"] <= times["ysmart"] * 1.45, (query_id, times)
+        # ...and Pig never beats Hive (its extra materialisation passes).
+        assert times["pig"] >= times["hive"] * 0.99, (query_id, times)
+    # Averaged over the extended set, ours is at least as good as YSmart.
+    ratios = [t["ysmart"] / t["ours"] for t in results.values()]
+    assert sum(ratios) / len(ratios) >= 1.0

@@ -1,0 +1,52 @@
+"""Base-station analytics over call-detail records (Section 6.3.1).
+
+Reproduces the paper's mobile workload in miniature: generate a diurnal
+call-detail-record data set, then answer Q1 ("concurrent calls at the
+same base station") and Q4 ("users served by different stations three
+days in a row") with all four systems, printing the comparison the
+paper's Figures 9/10 are built from.
+
+Run:  python examples/mobile_analytics.py
+"""
+
+from repro import (
+    ClusterConfig,
+    HivePlanner,
+    PigPlanner,
+    PlanExecutor,
+    SimulatedCluster,
+    ThetaJoinPlanner,
+    YSmartPlanner,
+)
+from repro.workloads.mobile import mobile_benchmark_query
+
+PLANNERS = (ThetaJoinPlanner, YSmartPlanner, HivePlanner, PigPlanner)
+
+
+def run_query(query_id: int, volume_gb: int) -> None:
+    query = mobile_benchmark_query(query_id, volume_gb)
+    print(f"--- mobile Q{query_id} @ {volume_gb} GB "
+          f"({len(query.relations)} relations) ---")
+    results = {}
+    for planner_cls in PLANNERS:
+        config = ClusterConfig()
+        plan = planner_cls(config).plan(query)
+        outcome = PlanExecutor(SimulatedCluster(config)).execute(plan, query)
+        results[plan.method] = outcome.report
+        print(
+            f"  {plan.method:7s} {plan.num_jobs} job(s) "
+            f"makespan {outcome.report.makespan_s:10.1f}s "
+            f"shuffle {outcome.report.total_shuffle_bytes / 2**30:8.1f} GiB"
+        )
+    counts = {r.output_records for r in results.values()}
+    assert len(counts) == 1, f"methods disagree on results: {counts}"
+    print(f"  all methods agree: {counts.pop()} result rows\n")
+
+
+def main() -> None:
+    for query_id in (1, 4):
+        run_query(query_id, 20)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Key-skew study: why theta-joins need value-oblivious partitioning.
+
+Section 2.1 of the paper singles out MapReduce's "poor immunity to key
+skews": when some join-attribute values are popular, hash partitioning
+concentrates their entire workload on single reducers.  Algorithm 1's
+hypercube partition assigns work by *tuple position* on a Hilbert curve,
+so reducer loads are independent of the value distribution.
+
+This example joins two Zipf-keyed relations at increasing skew with both
+physical operators, prints the per-reducer load profile as sparklines,
+and shows the imbalance staying flat for the hypercube while the hash
+join's hottest reducer runs away.
+
+Run:  python examples/skew_study.py
+"""
+
+from repro.core.partitioner import HypercubePartitioner
+from repro.joins.jobs import make_equi_join_job, make_hypercube_join_job
+from repro.joins.records import relation_to_composite_file
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.reporting import ResultTable, sparkline
+from repro.workloads.synthetic import skewed_equijoin_query
+
+NUM_REDUCERS = 12
+ROWS = 200
+SKEWS = [0.0, 0.6, 1.2, 1.8]
+
+
+def run_join(query, strategy: str):
+    cluster = SimulatedCluster()
+    aliases = sorted(query.relations)
+    files = [
+        cluster.hdfs.put(
+            relation_to_composite_file(query.relations[a], a, file_name=f"f:{a}")
+        )
+        for a in aliases
+    ]
+    schemas = {a: query.relations[a].schema for a in aliases}
+    if strategy == "hash":
+        spec = make_equi_join_job(
+            "hash", files[0], files[1], query.conditions, schemas,
+            num_reducers=NUM_REDUCERS,
+        )
+    else:
+        partitioner = HypercubePartitioner(
+            [f.num_records for f in files], NUM_REDUCERS
+        )
+        spec = make_hypercube_join_job(
+            "cube", files, [(a,) for a in aliases], partitioner,
+            query.conditions, schemas,
+        )
+    return cluster.run_job(spec)
+
+
+def main() -> None:
+    table = ResultTable(
+        "Reducer load (bytes) under growing key skew",
+        ["skew", "strategy", "max/mean", "reducer load profile"],
+    )
+    for skew in SKEWS:
+        query = skewed_equijoin_query(ROWS, skew=skew, distinct=50, seed=7)
+        for strategy in ("hash", "hypercube"):
+            result = run_join(query, strategy)
+            loads = [float(b) for b in result.metrics.reducer_input_bytes]
+            mean = sum(loads) / len(loads)
+            ratio = max(loads) / max(mean, 1.0)
+            table.add(f"{skew:g}", strategy, f"{ratio:.2f}", sparkline(loads))
+    print(table.render())
+    print()
+    print("Reading the profiles: a flat sparkline means balanced reducers.")
+    print("Hash partitioning sends each key's whole workload to one")
+    print("reducer, so Zipf-popular keys create the spikes above; the")
+    print("Hilbert hypercube partition never looks at values, so its")
+    print("profile stays flat at any skew — Theorem 2's balance claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Baseline planner models: Hive, Pig, and YSmart on the shared substrate."""
+
+from repro.baselines.cascade import CascadePlanner, written_alias_order
+from repro.baselines.hive import HivePlanner
+from repro.baselines.pig import PigPlanner
+from repro.baselines.ysmart import YSmartPlanner
+
+__all__ = [
+    "CascadePlanner",
+    "HivePlanner",
+    "PigPlanner",
+    "YSmartPlanner",
+    "written_alias_order",
+]

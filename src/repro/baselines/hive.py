@@ -1,0 +1,32 @@
+"""Hive baseline planner (Section 6's "Hive" competitor).
+
+Hive compiles an N-way join into a left-deep chain of pair-wise join
+MapReduce jobs in FROM-clause order.  Equality predicates become shuffle
+keys; a join condition with *only* inequality predicates forces a
+replicated cross join plus filter (Hive has no theta-aware partitioning).
+Hive always requests as many reduce tasks as the cluster offers and is
+oblivious to how many processing units other work needs — the behaviour
+the paper contrasts with its kP-aware scheduling.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cascade import CascadePlanner
+from repro.core.plan import STRATEGY_RANDOMCUBE
+
+
+class HivePlanner(CascadePlanner):
+    """Left-deep pair-wise cascade; skew-oblivious grid for pure theta steps.
+
+    Hive has no theta-aware partitioning: an inequality join becomes a
+    partitioned cross product whose cells land on reducers by plain
+    hashing.  We model that as the 2-dim grid partition with *random*
+    cell-to-reducer assignment — correct, but with far higher tuple
+    duplication and worse balance than the Hilbert/1-Bucket layouts (see
+    the partition ablation benchmark).
+    """
+
+    method = "hive"
+    theta_strategy = STRATEGY_RANDOMCUBE
+    intermediate_replication = 1
+    extra_startup_s = 0.0

@@ -1,0 +1,277 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+    python -m repro.cli run      --workload mobile --query 1 --volume 20
+    python -m repro.cli compare  --workload tpch --query 17 --volume 200 --kp 64
+    python -m repro.cli plan     --workload mobile --query 3 --volume 20
+    python -m repro.cli explain  --workload mobile --query 3 --volume 20
+    python -m repro.cli sql --workload mobile --volume 20 \\
+        "SELECT t2.id FROM table t1, table t2 WHERE t1.d = t2.d AND t1.bt <= t2.bt"
+    python -m repro.cli calibrate
+
+``run`` executes one query with one system; ``compare`` runs all four
+systems and prints the comparison row the figures are made of; ``plan``
+shows the chosen execution plan without running it; ``explain`` dumps the
+planner internals (GJ, Eulerian structure, G'JP candidates); ``sql``
+plans and executes an ad-hoc query in the paper's SQL-like dialect over a
+workload's base relations; ``calibrate`` fits the cost-model constants
+from probe jobs (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.baselines import HivePlanner, PigPlanner, YSmartPlanner
+from repro.core.executor import PlanExecutor
+from repro.core.planner import ThetaJoinPlanner
+from repro.mapreduce.config import ClusterConfig
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.relational.query import JoinQuery
+from repro.utils import format_bytes
+
+PLANNERS: Dict[str, Callable] = {
+    "ours": ThetaJoinPlanner,
+    "ysmart": YSmartPlanner,
+    "hive": HivePlanner,
+    "pig": PigPlanner,
+}
+
+
+def build_query(workload: str, query_id: int, volume: int, seed: int) -> JoinQuery:
+    if workload == "mobile":
+        from repro.workloads.mobile import mobile_benchmark_query
+
+        return mobile_benchmark_query(query_id, volume, seed=seed)
+    if workload == "tpch":
+        from repro.workloads.tpch import tpch_benchmark_query
+
+        return tpch_benchmark_query(query_id, volume, seed=seed)
+    raise SystemExit(f"unknown workload {workload!r} (mobile | tpch)")
+
+
+def cluster_config(kp: int) -> ClusterConfig:
+    config = ClusterConfig()
+    if kp and kp != config.total_units:
+        config = config.with_units(kp)
+    return config
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    query = build_query(args.workload, args.query, args.volume, args.seed)
+    config = cluster_config(args.kp)
+    planner = PLANNERS[args.method](config)
+    plan = planner.plan(query)
+    print(plan.describe())
+    outcome = PlanExecutor(SimulatedCluster(config)).execute(plan, query)
+    report = outcome.report
+    print(
+        f"\n{report.output_records} result rows | "
+        f"simulated makespan {report.makespan_s:.1f}s | "
+        f"shuffle {format_bytes(report.total_shuffle_bytes)} | "
+        f"merge {report.merge_time_s:.1f}s"
+    )
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    query = build_query(args.workload, args.query, args.volume, args.seed)
+    config = cluster_config(args.kp)
+    plan = PLANNERS[args.method](config).plan(query)
+    print(plan.describe())
+    for key, value in sorted(plan.notes.items()):
+        print(f"  note {key}: {value}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    query = build_query(args.workload, args.query, args.volume, args.seed)
+    config = cluster_config(args.kp)
+    print(
+        f"{args.workload} Q{args.query} @ {args.volume}GB, "
+        f"kP={config.total_units}"
+    )
+    counts = set()
+    for method, planner_cls in PLANNERS.items():
+        plan = planner_cls(config).plan(query)
+        outcome = PlanExecutor(SimulatedCluster(config)).execute(plan, query)
+        counts.add(outcome.report.output_records)
+        print(
+            f"  {method:7s} {plan.num_jobs} job(s) "
+            f"{outcome.report.makespan_s:12.1f}s "
+            f"shuffle {format_bytes(outcome.report.total_shuffle_bytes)}"
+        )
+    if len(counts) != 1:
+        print("ERROR: methods disagree on the result!", file=sys.stderr)
+        return 1
+    print(f"  all methods agree: {counts.pop()} rows")
+    return 0
+
+
+def workload_relations(workload: str, volume: int, seed: int):
+    """Base relations addressable from the SQL front end, by name."""
+    if workload == "mobile":
+        from repro.workloads.mobile import ROWS_3REL, generate_mobile_calls
+        from repro.utils import GB
+
+        rows = ROWS_3REL.get(volume, 140)
+        calls = generate_mobile_calls(
+            rows, num_stations=25, seed=seed,
+            bytes_per_row=(volume * GB) // rows if volume else 0,
+            name=f"calls{volume}gb",
+        )
+        return {"table": calls, "calls": calls}
+    if workload == "tpch":
+        from repro.workloads.tpch import TPCHDatabase
+
+        return TPCHDatabase(volume_gb=volume, seed=seed).tables()
+    raise SystemExit(f"unknown workload {workload!r} (mobile | tpch)")
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    from repro.relational.sql import parse_join_query
+
+    relations = workload_relations(args.workload, args.volume, args.seed)
+    query = parse_join_query(args.sql, relations, name="adhoc")
+    config = cluster_config(args.kp)
+    planner = PLANNERS[args.method](config)
+    plan = planner.plan(query)
+    print(plan.describe())
+    outcome = PlanExecutor(SimulatedCluster(config)).execute(plan, query)
+    report = outcome.report
+    print(
+        f"\n{report.output_records} result rows | "
+        f"simulated makespan {report.makespan_s:.1f}s | "
+        f"shuffle {format_bytes(report.total_shuffle_bytes)}"
+    )
+    for row in outcome.result.head(args.limit).rows:
+        print("  ", row)
+    if report.output_records > args.limit:
+        print(f"   ... and {report.output_records - args.limit} more rows")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.costing import CandidateJobCosting
+    from repro.core.cost_model import MRJCostModel
+    from repro.core.eulerian import count_eulerian_trails
+    from repro.core.join_graph import JoinGraph
+    from repro.core.join_path_graph import build_join_path_graph
+    from repro.relational.statistics import StatisticsCatalog
+
+    query = build_query(args.workload, args.query, args.volume, args.seed)
+    config = cluster_config(args.kp)
+    graph = JoinGraph.from_query(query)
+
+    print(f"Join graph GJ for {query.name}:")
+    for cid in graph.edge_ids:
+        a, b = graph.endpoints(cid)
+        print(f"  theta{cid}: {a} -- {b}   [{query.condition(cid)}]")
+    print(f"  Eulerian trail: {graph.has_eulerian_trail()}, "
+          f"circuit: {graph.has_eulerian_circuit()}")
+    if graph.num_edges <= 8 and graph.has_eulerian_trail():
+        print(f"  Eulerian trails: {count_eulerian_trails(graph)}")
+
+    catalog = StatisticsCatalog()
+    for relation in query.relations.values():
+        catalog.add_relation(relation)
+    costing = CandidateJobCosting(
+        query, graph, catalog, MRJCostModel.for_cluster(config),
+        total_units=config.total_units,
+    )
+    gjp = build_join_path_graph(graph, costing)
+    print(f"\nG'JP: {gjp.enumerated} candidates examined, "
+          f"{gjp.pruned} pruned by Lemma 1, {len(gjp)} kept")
+    for candidate in sorted(gjp, key=lambda c: c.time_s)[: args.limit]:
+        a, b = candidate.endpoints
+        print(f"  {a}~{b}  theta={sorted(candidate.labels)}  "
+              f"w={candidate.time_s:.1f}s  s={candidate.reducers}")
+    if len(gjp) > args.limit:
+        print(f"  ... and {len(gjp) - args.limit} more candidates")
+
+    plan = PLANNERS[args.method](config).plan(query)
+    print(f"\nChosen plan ({plan.notes.get('chosen_kind', '?')}):")
+    print(plan.describe())
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.core.calibration import calibrate
+    from repro.core.cost_model import CostModelParameters
+
+    config = ClusterConfig().with_noise(args.noise)
+    cluster = SimulatedCluster(config)
+    result = calibrate(cluster)
+    truth = CostModelParameters.from_config(ClusterConfig())
+    print("fitted cost-model constants (vs configured ground truth):")
+    for field in (
+        "read_s_per_byte", "write_s_per_byte", "network_s_per_byte", "connection_s"
+    ):
+        fitted = getattr(result.params, field)
+        real = getattr(truth, field)
+        print(f"  {field:22s} {fitted:.3e}  (true {real:.3e})")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Multi-way theta-join reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--workload", choices=("mobile", "tpch"), default="mobile")
+        p.add_argument("--query", type=int, default=1)
+        p.add_argument("--volume", type=int, default=20, help="data volume label (GB)")
+        p.add_argument("--kp", type=int, default=96, help="processing units")
+        p.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="plan + execute one query with one system")
+    common(run)
+    run.add_argument("--method", choices=sorted(PLANNERS), default="ours")
+    run.set_defaults(func=cmd_run)
+
+    plan = sub.add_parser("plan", help="show a plan without executing it")
+    common(plan)
+    plan.add_argument("--method", choices=sorted(PLANNERS), default="ours")
+    plan.set_defaults(func=cmd_plan)
+
+    compare = sub.add_parser("compare", help="run all four systems on one query")
+    common(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    explain = sub.add_parser(
+        "explain", help="dump GJ, Eulerian structure, and G'JP candidates"
+    )
+    common(explain)
+    explain.add_argument("--method", choices=sorted(PLANNERS), default="ours")
+    explain.add_argument("--limit", type=int, default=12, help="candidates shown")
+    explain.set_defaults(func=cmd_explain)
+
+    sql = sub.add_parser(
+        "sql", help="plan + execute an ad-hoc SQL-style theta-join query"
+    )
+    sql.add_argument("sql", help="query in the paper's SQL-like dialect")
+    sql.add_argument("--workload", choices=("mobile", "tpch"), default="mobile")
+    sql.add_argument("--volume", type=int, default=0, help="data volume label (GB)")
+    sql.add_argument("--kp", type=int, default=96)
+    sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument("--method", choices=sorted(PLANNERS), default="ours")
+    sql.add_argument("--limit", type=int, default=10, help="result rows shown")
+    sql.set_defaults(func=cmd_sql)
+
+    calibrate = sub.add_parser("calibrate", help="fit cost-model constants")
+    calibrate.add_argument("--noise", type=float, default=0.05)
+    calibrate.set_defaults(func=cmd_calibrate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,423 @@
+"""Executing :class:`ExecutionPlan` objects on the simulated cluster.
+
+The executor is shared by our planner and every baseline planner, which
+is what makes the comparison fair: all methods run through the identical
+substrate and bookkeeping, only their plans differ.
+
+Execution is event-driven: a job starts when its dependencies have
+finished and its allotted units are free; its duration comes from really
+running it on the :class:`SimulatedCluster`.  Terminal job outputs are
+merged by the id-based merge of Section 4.2 (merges begin as soon as both
+inputs exist, overlapping later jobs).  The final composites become a
+flat output :class:`Relation`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.group_cost import MERGE_ID_WIDTH, merge_duration_s
+from repro.core.partitioner import HypercubePartitioner, RandomPartitioner
+from repro.core.plan import (
+    STRATEGY_BROADCAST,
+    STRATEGY_EQUI,
+    STRATEGY_EQUICHAIN,
+    STRATEGY_HYPERCUBE,
+    STRATEGY_ONEBUCKET,
+    STRATEGY_RANDOMCUBE,
+    ExecutionPlan,
+    InputRef,
+    PlannedJob,
+)
+from repro.errors import ExecutionError
+from repro.joins.jobs import (
+    make_broadcast_join_job,
+    make_equi_join_job,
+    make_equichain_join_job,
+    make_hypercube_join_job,
+)
+from repro.joins.records import (
+    Composite,
+    composites_to_relation,
+    global_id_of,
+    merge_composites,
+    relation_to_composite_file,
+)
+from repro.mapreduce.counters import ExecutionReport, JobMetrics
+from repro.mapreduce.hdfs import DistributedFile
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.relational.query import JoinQuery
+from repro.relational.relation import Relation
+
+
+@dataclass
+class ExecutionOutcome:
+    """Everything produced by running one plan."""
+
+    result: Relation
+    report: ExecutionReport
+    #: Raw result composites (alias, global id, row) for result validation.
+    composites: List[Composite]
+
+
+class PlanExecutor:
+    """Runs any :class:`ExecutionPlan` against a simulated cluster."""
+
+    def __init__(self, cluster: SimulatedCluster) -> None:
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: ExecutionPlan, query: JoinQuery) -> ExecutionOutcome:
+        missing = set(c.condition_id for c in query.conditions) - set(
+            plan.covered_condition_ids()
+        )
+        if missing:
+            raise ExecutionError(
+                f"plan {plan.name!r} does not cover conditions {sorted(missing)}"
+            )
+
+        schemas = {alias: rel.schema for alias, rel in query.relations.items()}
+        base_files = {
+            alias: self.cluster.hdfs.put(
+                relation_to_composite_file(relation, alias)
+            )
+            for alias, relation in query.relations.items()
+        }
+
+        report = ExecutionReport(plan_name=plan.name)
+        job_outputs: Dict[str, DistributedFile] = {}
+        self._alias_cover = self._compute_alias_cover(plan)
+        job_ends = self._run_jobs(plan, query, schemas, base_files, job_outputs, report)
+
+        final_composites, merge_end, merge_total = self._merge_terminals(
+            plan, query, schemas, job_outputs, job_ends
+        )
+        report.merge_time_s = merge_total
+        report.makespan_s = max(max(job_ends.values(), default=0.0), merge_end)
+        report.output_records = len(final_composites)
+
+        result = composites_to_relation(
+            final_composites,
+            schemas,
+            name=f"{query.name}-result",
+            projection=query.projection,
+        )
+        return ExecutionOutcome(
+            result=result, report=report, composites=final_composites
+        )
+
+    # ------------------------------------------------------------------
+    # job phase
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _compute_alias_cover(plan: ExecutionPlan) -> Dict[str, Tuple[str, ...]]:
+        """Alias coverage of every job's output, independent of its records.
+
+        Needed because an *empty* intermediate file carries no records to
+        infer aliases from, yet downstream jobs still have to be built.
+        """
+        cover: Dict[str, Tuple[str, ...]] = {}
+        pending = list(plan.jobs)
+        while pending:
+            progressed = False
+            for job in list(pending):
+                if all(
+                    ref.kind == "base" or ref.name in cover for ref in job.inputs
+                ):
+                    aliases: set = set()
+                    for ref in job.inputs:
+                        if ref.kind == "base":
+                            aliases.add(ref.name)
+                        else:
+                            aliases.update(cover[ref.name])
+                    cover[job.job_id] = tuple(sorted(aliases))
+                    pending.remove(job)
+                    progressed = True
+            if pending and not progressed:
+                raise ExecutionError("cyclic job inputs in plan")
+        return cover
+
+    def _input_aliases(self, ref: InputRef) -> Tuple[str, ...]:
+        if ref.kind == "base":
+            return (ref.name,)
+        return self._alias_cover[ref.name]
+
+    def _run_jobs(
+        self,
+        plan: ExecutionPlan,
+        query: JoinQuery,
+        schemas: Mapping[str, object],
+        base_files: Mapping[str, DistributedFile],
+        job_outputs: Dict[str, DistributedFile],
+        report: ExecutionReport,
+    ) -> Dict[str, float]:
+        """Event-driven execution respecting dependencies and the unit budget."""
+        pending: List[PlannedJob] = list(plan.jobs)
+        done: Dict[str, float] = {}
+        running: List[Tuple[float, str, int]] = []  # (end, job_id, units)
+        available = plan.total_units
+        now = 0.0
+
+        def deps_of(job: PlannedJob) -> List[str]:
+            deps = list(job.depends_on)
+            deps.extend(ref.name for ref in job.inputs if ref.kind == "job")
+            return deps
+
+        while pending or running:
+            started = True
+            while started:
+                started = False
+                for job in list(pending):
+                    deps = deps_of(job)
+                    if any(d not in done for d in deps):
+                        continue
+                    units = min(job.units, plan.total_units)
+                    if units > available:
+                        continue
+                    earliest = max(
+                        [now] + [done[d] for d in deps]
+                    )
+                    if earliest > now:
+                        continue
+                    duration = self._run_single_job(
+                        job, query, schemas, base_files, job_outputs, report
+                    )
+                    heapq.heappush(running, (now + duration, job.job_id, units))
+                    available -= units
+                    pending.remove(job)
+                    started = True
+            if pending or running:
+                if not running:
+                    raise ExecutionError(
+                        f"plan {plan.name!r} deadlocked: pending jobs "
+                        f"{[j.job_id for j in pending]} cannot start"
+                    )
+                end, job_id, units = heapq.heappop(running)
+                now = max(now, end)
+                done[job_id] = end
+                available += units
+                while running and running[0][0] <= now:
+                    end2, job_id2, units2 = heapq.heappop(running)
+                    done[job_id2] = end2
+                    available += units2
+        return done
+
+    def _run_single_job(
+        self,
+        job: PlannedJob,
+        query: JoinQuery,
+        schemas,
+        base_files: Mapping[str, DistributedFile],
+        job_outputs: Dict[str, DistributedFile],
+        report: ExecutionReport,
+    ) -> float:
+        # An empty input (e.g. an upstream join with no matches) makes the
+        # whole join empty; emit an empty output and charge start-up only.
+        resolved = [
+            base_files[ref.name] if ref.kind == "base" else job_outputs[ref.name]
+            for ref in job.inputs
+        ]
+        if any(f.num_records == 0 for f in resolved):
+            empty = DistributedFile(
+                name=f"{query.name}:{job.job_id}.out", records=[], record_width=64,
+                tag=f"{query.name}:{job.job_id}.out",
+            )
+            self.cluster.hdfs.put(empty)
+            job_outputs[job.job_id] = empty
+            metrics = JobMetrics(job_name=f"{query.name}:{job.job_id}")
+            metrics.total_time_s = (
+                self.cluster.config.job_startup_s + job.extra_startup_s
+            )
+            report.job_metrics.append(metrics)
+            return metrics.total_time_s
+
+        spec = self._materialize(job, query, schemas, base_files, job_outputs)
+        result = self.cluster.run_job(
+            spec, map_units=job.units, reduce_units=job.units
+        )
+        result.metrics.total_time_s += job.extra_startup_s
+        result.metrics.startup_time_s += job.extra_startup_s
+        report.job_metrics.append(result.metrics)
+        job_outputs[job.job_id] = result.output
+        return result.metrics.total_time_s
+
+    def _materialize(
+        self,
+        job: PlannedJob,
+        query: JoinQuery,
+        schemas,
+        base_files: Mapping[str, DistributedFile],
+        job_outputs: Mapping[str, DistributedFile],
+    ):
+        def resolve(ref: InputRef) -> DistributedFile:
+            if ref.kind == "base":
+                return base_files[ref.name]
+            return job_outputs[ref.name]
+
+        files = [resolve(ref) for ref in job.inputs]
+        conditions = [query.condition(cid) for cid in job.condition_ids]
+        name = f"{query.name}:{job.job_id}"
+
+        if job.strategy in (
+            STRATEGY_HYPERCUBE,
+            STRATEGY_ONEBUCKET,
+            STRATEGY_RANDOMCUBE,
+        ):
+            cards = [f.num_records for f in files]
+            if any(c == 0 for c in cards):
+                raise ExecutionError(
+                    f"job {job.job_id!r}: empty input relation; no results"
+                )
+            reducers = min(job.num_reducers, max(1, min(cards)) * 4)
+            partitioner_cls = (
+                RandomPartitioner
+                if job.strategy == STRATEGY_RANDOMCUBE
+                else HypercubePartitioner
+            )
+            partitioner = partitioner_cls(
+                cards, reducers, bits=job.partition_bits
+            )
+            dim_aliases = [self._input_aliases(ref) for ref in job.inputs]
+            spec = make_hypercube_join_job(
+                name,
+                files,
+                dim_aliases,
+                partitioner,
+                conditions,
+                schemas,
+                output_name=f"{name}.out",
+            )
+        elif job.strategy == STRATEGY_EQUICHAIN:
+            spec = make_equichain_join_job(
+                name,
+                files,
+                conditions,
+                schemas,
+                num_reducers=job.num_reducers,
+                output_name=f"{name}.out",
+                alias_groups=[self._input_aliases(ref) for ref in job.inputs],
+            )
+        elif job.strategy == STRATEGY_EQUI:
+            spec = make_equi_join_job(
+                name,
+                files[0],
+                files[1],
+                conditions,
+                schemas,
+                num_reducers=job.num_reducers,
+                output_name=f"{name}.out",
+                left_aliases=self._input_aliases(job.inputs[0]),
+                right_aliases=self._input_aliases(job.inputs[1]),
+            )
+        elif job.strategy == STRATEGY_BROADCAST:
+            big, small = files[0], files[1]
+            big_ref, small_ref = job.inputs[0], job.inputs[1]
+            if small.size_bytes > big.size_bytes:
+                big, small = small, big
+                big_ref, small_ref = small_ref, big_ref
+            spec = make_broadcast_join_job(
+                name,
+                big,
+                small,
+                conditions,
+                schemas,
+                num_reducers=job.num_reducers,
+                output_name=f"{name}.out",
+                big_aliases=self._input_aliases(big_ref),
+                small_aliases=self._input_aliases(small_ref),
+            )
+        else:
+            raise ExecutionError(f"unknown strategy {job.strategy!r}")
+        spec.output_replication = job.output_replication
+        return spec
+
+    @staticmethod
+    def _aliases_of_file(file: DistributedFile) -> Tuple[str, ...]:
+        if not file.records:
+            return ()
+        first: Composite = file.records[0]  # type: ignore[assignment]
+        return tuple(entry[0] for entry in first)
+
+    # ------------------------------------------------------------------
+    # merge phase (Section 4.2)
+    # ------------------------------------------------------------------
+
+    def _merge_terminals(
+        self,
+        plan: ExecutionPlan,
+        query: JoinQuery,
+        schemas,
+        job_outputs: Mapping[str, DistributedFile],
+        job_ends: Mapping[str, float],
+    ) -> Tuple[List[Composite], float, float]:
+        terminals = plan.terminal_jobs()
+        pool: List[Tuple[FrozenSet[str], List[Composite], float]] = []
+        for job in terminals:
+            output = job_outputs[job.job_id]
+            composites: List[Composite] = list(output.records)  # type: ignore[arg-type]
+            aliases = frozenset(self._alias_cover[job.job_id])
+            pool.append((aliases, composites, job_ends[job.job_id]))
+
+        if not pool:
+            return [], 0.0, 0.0
+
+        disk = self.cluster.config.disk_read_bytes_s
+        merge_total = 0.0
+        while len(pool) > 1:
+            best: Optional[Tuple[int, int]] = None
+            best_size = float("inf")
+            for i in range(len(pool)):
+                for j in range(i + 1, len(pool)):
+                    if not (pool[i][0] & pool[j][0]):
+                        continue
+                    size = len(pool[i][1]) + len(pool[j][1])
+                    if size < best_size:
+                        best_size = size
+                        best = (i, j)
+            if best is None:
+                raise ExecutionError(
+                    "terminal results share no relation; cannot merge"
+                )
+            i, j = best
+            left_aliases, left_rows, left_ready = pool[i]
+            right_aliases, right_rows, right_ready = pool[j]
+            merged_rows = _hash_merge(
+                left_rows, right_rows, left_aliases & right_aliases
+            )
+            duration = merge_duration_s(
+                len(left_rows), len(right_rows), len(merged_rows), disk
+            )
+            merge_total += duration
+            ready = max(left_ready, right_ready) + duration
+            pool = [p for k, p in enumerate(pool) if k not in (i, j)]
+            pool.append((left_aliases | right_aliases, merged_rows, ready))
+
+        aliases, composites, ready = pool[0]
+        if len(terminals) == 1:
+            ready = job_ends[terminals[0].job_id]
+        return composites, ready, merge_total
+
+
+def _hash_merge(
+    left: List[Composite],
+    right: List[Composite],
+    shared_aliases: FrozenSet[str],
+) -> List[Composite]:
+    """Id-based hash join of two partial results on their shared relations."""
+    shared = sorted(shared_aliases)
+    index: Dict[Tuple[int, ...], List[Composite]] = {}
+    for composite in right:
+        key = tuple(global_id_of(composite, alias) for alias in shared)
+        index.setdefault(key, []).append(composite)
+    merged: List[Composite] = []
+    for composite in left:
+        key = tuple(global_id_of(composite, alias) for alias in shared)
+        for partner in index.get(key, ()):
+            combined = merge_composites(composite, partner)
+            if combined is not None:
+                merged.append(combined)
+    return merged

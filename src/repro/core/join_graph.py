@@ -1,0 +1,143 @@
+"""The join graph GJ of Definition 1.
+
+Vertices are the query's relation aliases; each theta join condition is a
+labelled edge.  Parallel edges (two conditions between the same pair of
+relations) are allowed — GJ is a multigraph keyed by condition id.
+
+The graph also answers the Eulerian-trail questions of Section 3.2,
+which the paper uses to characterise the hardness of enumerating the
+join-path graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.errors import QueryError
+from repro.relational.predicates import JoinCondition
+from repro.relational.query import JoinQuery
+
+
+class JoinGraph:
+    """Multigraph over relation aliases with theta-condition edge labels."""
+
+    def __init__(
+        self,
+        vertices: Iterable[str],
+        edges: Mapping[int, Tuple[str, str]],
+    ) -> None:
+        """
+        Parameters
+        ----------
+        vertices:
+            Relation aliases.
+        edges:
+            Mapping from condition id (theta label) to its endpoint pair.
+        """
+        self.vertices: Tuple[str, ...] = tuple(sorted(set(vertices)))
+        if len(self.vertices) < 2:
+            raise QueryError("a join graph needs at least two vertices")
+        self._edges: Dict[int, Tuple[str, str]] = {}
+        self._incident: Dict[str, List[int]] = {v: [] for v in self.vertices}
+        for condition_id, (a, b) in sorted(edges.items()):
+            if a not in self._incident or b not in self._incident:
+                raise QueryError(f"edge {condition_id} references unknown vertex")
+            if a == b:
+                raise QueryError(f"edge {condition_id} is a self-loop on {a!r}")
+            self._edges[condition_id] = (a, b)
+            self._incident[a].append(condition_id)
+            self._incident[b].append(condition_id)
+        if not self._edges:
+            raise QueryError("a join graph needs at least one edge")
+
+    @classmethod
+    def from_query(cls, query: JoinQuery) -> "JoinGraph":
+        return cls(
+            query.aliases,
+            {c.condition_id: c.aliases for c in query.conditions},
+        )
+
+    # -- basic accessors ---------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"JoinGraph(V={list(self.vertices)}, E={self._edges})"
+
+    @property
+    def edge_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._edges))
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def endpoints(self, condition_id: int) -> Tuple[str, str]:
+        try:
+            return self._edges[condition_id]
+        except KeyError:
+            raise QueryError(f"no edge with condition id {condition_id}") from None
+
+    def incident_edges(self, vertex: str) -> Tuple[int, ...]:
+        try:
+            return tuple(self._incident[vertex])
+        except KeyError:
+            raise QueryError(f"no vertex {vertex!r} in join graph") from None
+
+    def other_endpoint(self, condition_id: int, vertex: str) -> str:
+        a, b = self.endpoints(condition_id)
+        if vertex == a:
+            return b
+        if vertex == b:
+            return a
+        raise QueryError(f"vertex {vertex!r} is not an endpoint of edge {condition_id}")
+
+    def degree(self, vertex: str) -> int:
+        return len(self.incident_edges(vertex))
+
+    def vertices_of_edges(self, condition_ids: Iterable[int]) -> FrozenSet[str]:
+        touched: Set[str] = set()
+        for cid in condition_ids:
+            touched.update(self.endpoints(cid))
+        return frozenset(touched)
+
+    # -- structure queries ---------------------------------------------------
+
+    def is_connected(self) -> bool:
+        seen: Set[str] = set()
+        stack = [self.vertices[0]]
+        while stack:
+            vertex = stack.pop()
+            if vertex in seen:
+                continue
+            seen.add(vertex)
+            for cid in self._incident[vertex]:
+                stack.append(self.other_endpoint(cid, vertex))
+        return len(seen) == len(self.vertices)
+
+    def odd_degree_vertices(self) -> Tuple[str, ...]:
+        return tuple(v for v in self.vertices if self.degree(v) % 2 == 1)
+
+    def has_eulerian_trail(self) -> bool:
+        """An Eulerian trail exists iff connected with 0 or 2 odd vertices."""
+        return self.is_connected() and len(self.odd_degree_vertices()) in (0, 2)
+
+    def has_eulerian_circuit(self) -> bool:
+        return self.is_connected() and not self.odd_degree_vertices()
+
+    def edges_form_connected_subgraph(self, condition_ids: Sequence[int]) -> bool:
+        """True when the given edges induce a connected subgraph."""
+        ids = list(condition_ids)
+        if not ids:
+            return False
+        vertices = self.vertices_of_edges(ids)
+        id_set = set(ids)
+        seen: Set[str] = set()
+        stack = [next(iter(vertices))]
+        while stack:
+            vertex = stack.pop()
+            if vertex in seen:
+                continue
+            seen.add(vertex)
+            for cid in self._incident[vertex]:
+                if cid in id_set:
+                    stack.append(self.other_endpoint(cid, vertex))
+        return seen == set(vertices)

@@ -1,0 +1,269 @@
+"""The join-path graph G'JP: MapReduce job candidates (Definition 3, Alg. 2).
+
+Every no-edge-repeating path of the join graph GJ is a potential MapReduce
+job that evaluates all the theta conditions on the path in one go.  Exact
+enumeration is #P-complete (Theorem 1), so — following Section 5.2 — we
+build the pruned subgraph G'JP incrementally by path length, discarding
+candidates via:
+
+* **Lemma 1**: a candidate is dropped when a group of already-kept
+  candidates covers at least its conditions, each member is cheaper, and
+  the group needs no more reduce slots in total.
+* **Lemma 2**: once a candidate is dropped, every candidate whose label
+  set strictly contains the dropped label set is dropped too — realised
+  here by not extending pruned paths, exactly Alg. 2's early ``break``.
+
+Costing each candidate (w(e') and the scheduling parameter s(e') = its
+reduce-task count) is delegated to a caller-provided evaluator so this
+module stays independent of the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.join_graph import JoinGraph
+from repro.errors import PlanningError
+
+
+@dataclass(frozen=True)
+class CandidateCost:
+    """w(e') and s(e') for one candidate job."""
+
+    time_s: float
+    reducers: int
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0 or self.reducers < 1:
+            raise PlanningError(
+                f"invalid candidate cost: time={self.time_s}, reducers={self.reducers}"
+            )
+
+
+#: evaluator(condition_ids) -> CandidateCost; condition ids are in path order.
+CandidateEvaluator = Callable[[Tuple[int, ...]], CandidateCost]
+
+
+@dataclass(frozen=True)
+class CandidateJob:
+    """One edge e' of G'JP: a no-edge-repeating path and its cost labels."""
+
+    endpoints: Tuple[str, str]
+    path: Tuple[int, ...]
+    labels: FrozenSet[int]
+    cost: CandidateCost
+
+    @property
+    def time_s(self) -> float:
+        return self.cost.time_s
+
+    @property
+    def reducers(self) -> int:
+        return self.cost.reducers
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.path)
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidateJob({self.endpoints[0]}~{self.endpoints[1]}, "
+            f"path={list(self.path)}, w={self.time_s:.2f}s, s={self.reducers})"
+        )
+
+
+class JoinPathGraph:
+    """The pruned join-path graph G'JP: the pool of MapReduce job candidates."""
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        candidates: Sequence[CandidateJob],
+        enumerated: int,
+        pruned: int,
+    ) -> None:
+        self.graph = graph
+        self.candidates: Tuple[CandidateJob, ...] = tuple(candidates)
+        #: Total no-edge-repeating paths examined before pruning.
+        self.enumerated = enumerated
+        #: Candidates removed by Lemma 1 (Lemma 2 victims are never built).
+        self.pruned = pruned
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+    def covering(self, condition_id: int) -> List[CandidateJob]:
+        """All kept candidates whose label set contains ``condition_id``."""
+        return [c for c in self.candidates if condition_id in c.labels]
+
+    def is_sufficient(self) -> bool:
+        """Definition 4: kept candidates must jointly cover every GJ edge."""
+        covered: Set[int] = set()
+        for candidate in self.candidates:
+            covered.update(candidate.labels)
+        return covered == set(self.graph.edge_ids)
+
+    def single_edge_candidates(self) -> List[CandidateJob]:
+        return [c for c in self.candidates if c.hop_count == 1]
+
+
+def enumerate_paths(
+    graph: JoinGraph, max_hops: Optional[int] = None
+) -> List[Tuple[str, str, Tuple[int, ...]]]:
+    """All distinct no-edge-repeating paths of GJ (Definition 2), unpruned.
+
+    Returns ``(start, end, condition-id sequence)`` triples; a path and its
+    reverse are the same join work, so only the lexicographically canonical
+    direction is reported.  Used by tests (Figure 1's example) and as the
+    reference the pruning logic is validated against.
+    """
+    limit = max_hops or graph.num_edges
+    results: Dict[Tuple[FrozenSet[str], FrozenSet[int]], Tuple[str, str, Tuple[int, ...]]] = {}
+
+    def extend(current: str, used: Tuple[int, ...], used_set: FrozenSet[int], start: str) -> None:
+        for cid in graph.incident_edges(current):
+            if cid in used_set:
+                continue
+            nxt = graph.other_endpoint(cid, current)
+            path = used + (cid,)
+            key = (frozenset((start, nxt)), frozenset(path))
+            if key not in results:
+                results[key] = (start, nxt, path)
+            if len(path) < limit:
+                extend(nxt, path, used_set | {cid}, start)
+
+    for vertex in graph.vertices:
+        extend(vertex, (), frozenset(), vertex)
+    return sorted(results.values())
+
+
+def build_join_path_graph(
+    graph: JoinGraph,
+    evaluator: CandidateEvaluator,
+    max_hops: Optional[int] = None,
+    apply_pruning: bool = True,
+) -> JoinPathGraph:
+    """Algorithm 2: incremental construction of G'JP with Lemmas 1 and 2.
+
+    Paths are generated by increasing hop count; each new candidate is
+    checked against the worklist of cheaper kept candidates (Lemma 1) and,
+    when pruned, its extensions are never generated (Lemma 2).
+
+    With ``apply_pruning=False`` the full (exponential) join-path graph is
+    built — used by the pruning ablation benchmark.
+    """
+    limit = max_hops or graph.num_edges
+    kept: Dict[Tuple[FrozenSet[str], FrozenSet[int]], CandidateJob] = {}
+    pruned_keys: Set[Tuple[FrozenSet[str], FrozenSet[int]]] = set()
+    #: Sorted-by-cost view of kept candidates: the worklist WL of Alg. 2.
+    worklist: List[CandidateJob] = []
+    enumerated = 0
+    pruned = 0
+
+    def consider(start: str, end: str, path: Tuple[int, ...]) -> bool:
+        """Evaluate one traversal; True when its extensions may grow.
+
+        A traversal keeps growing when its candidate (endpoints + label
+        set) is kept — including when an equivalent candidate was already
+        kept via another traversal, since this direction can still reach
+        new supersets.  Pruned candidates stop growth (Lemma 2).
+        """
+        nonlocal enumerated, pruned
+        labels = frozenset(path)
+        key = (frozenset((start, end)), labels)
+        if key in kept:
+            return True
+        if key in pruned_keys:
+            return False
+        enumerated += 1
+        cost = evaluator(path)
+        candidate = CandidateJob((start, end), path, labels, cost)
+        if apply_pruning and _lemma1_prunes(candidate, worklist):
+            pruned += 1
+            pruned_keys.add(key)
+            return False
+        kept[key] = candidate
+        _insert_sorted(worklist, candidate)
+        return True
+
+    # Hop count 1: both traversal directions of every edge seed the search.
+    frontier: List[Tuple[str, str, Tuple[int, ...]]] = []
+    for cid in graph.edge_ids:
+        a, b = graph.endpoints(cid)
+        if consider(a, b, (cid,)):
+            frontier.append((a, b, (cid,)))
+            frontier.append((b, a, (cid,)))
+
+    hops = 1
+    seen_traversals: Set[Tuple[str, Tuple[int, ...]]] = set()
+    while frontier and hops < limit:
+        hops += 1
+        next_frontier: List[Tuple[str, str, Tuple[int, ...]]] = []
+        for start, end, path in frontier:
+            used = set(path)
+            for cid in graph.incident_edges(end):
+                if cid in used:
+                    continue
+                nxt = graph.other_endpoint(cid, end)
+                new_path = path + (cid,)
+                traversal = (start, new_path)
+                if traversal in seen_traversals:
+                    continue
+                seen_traversals.add(traversal)
+                if consider(start, nxt, new_path):
+                    next_frontier.append((start, nxt, new_path))
+        frontier = next_frontier
+
+    result = JoinPathGraph(graph, list(kept.values()), enumerated, pruned)
+    if not result.is_sufficient():
+        raise PlanningError(
+            "pruning removed all candidates for some join condition; "
+            "this indicates a bug in the Lemma 1 implementation"
+        )
+    return result
+
+
+def _insert_sorted(worklist: List[CandidateJob], candidate: CandidateJob) -> None:
+    """Keep WL in ascending order of w(e') as Alg. 2 requires."""
+    lo, hi = 0, len(worklist)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if worklist[mid].time_s < candidate.time_s:
+            lo = mid + 1
+        else:
+            hi = mid
+    worklist.insert(lo, candidate)
+
+
+def _lemma1_prunes(candidate: CandidateJob, worklist: List[CandidateJob]) -> bool:
+    """Lemma 1: scan WL (ascending w) for the first group covering the candidate.
+
+    The group is grown greedily from the cheapest kept candidates that
+    contribute at least one uncovered condition.  The candidate is pruned
+    when every group member is strictly cheaper and the group's total
+    reduce-slot demand does not exceed the candidate's.
+    """
+    # Single edges are the irreplaceable base coverage of their condition
+    # unless some strictly cheaper candidate also covers it.
+    needed: Set[int] = set(candidate.labels)
+    group: List[CandidateJob] = []
+    for kept in worklist:
+        if kept.time_s >= candidate.time_s:
+            # WL is sorted: everything further is at least as expensive,
+            # so condition 2 of the lemma can no longer hold.
+            break
+        contribution = needed & kept.labels
+        if not contribution:
+            continue
+        group.append(kept)
+        needed -= contribution
+        if not needed:
+            break
+    if needed:
+        return False
+    total_reducers = sum(member.reducers for member in group)
+    return candidate.reducers >= total_reducers

@@ -1,0 +1,275 @@
+"""Hilbert-curve partitioning of the join hyper-cube (Section 5.1).
+
+The cross-product space S of the relations in a multi-way theta-join is a
+hyper-cube with one dimension per relation.  A partition function maps S
+onto ``kR`` disjoint components, one per reduce task.  This module
+implements the paper's perfect partition function (Theorem 2): overlay a
+``2**bits``-per-side grid on S, order the grid cells by the Hilbert curve,
+and cut the curve into ``kR`` equal segments.
+
+Key quantities:
+
+* each tuple of relation ``Ri`` with global id ``g`` lives in grid slab
+  ``g // cell_width_i`` of dimension ``i`` and must be replicated to every
+  component that intersects that slab;
+* the **duplication score** of Equation 7 is the total number of such
+  (tuple, component) incidences — the data volume copied over the network;
+* each joint grid cell belongs to exactly one component, which gives the
+  reducer-side *ownership* rule that makes results exact and duplicate-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core import hilbert
+from repro.errors import PartitionError
+from repro.utils import ceil_div
+
+#: Hard cap on grid cells so planning stays cheap (2^14 cells).
+MAX_GRID_CELLS = 1 << 14
+
+
+def choose_grid_bits(dims: int, num_components: int, oversample: int = 8) -> int:
+    """Per-dimension bits so the grid has ~``oversample``x more cells than components.
+
+    More cells than components lets segment boundaries balance load; the
+    cap keeps the slab-to-component index small enough to precompute.
+    """
+    if dims < 1:
+        raise PartitionError("dims must be >= 1")
+    if num_components < 1:
+        raise PartitionError("num_components must be >= 1")
+    bits = 1
+    while (1 << (bits * dims)) < num_components * oversample:
+        if (1 << ((bits + 1) * dims)) > MAX_GRID_CELLS:
+            break
+        bits += 1
+    return bits
+
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """Size accounting of one hypercube partition (drives Eq. 10)."""
+
+    num_components: int
+    #: Eq. 7: total (tuple, component) incidences = tuples copied over the network.
+    duplication_score: int
+    #: Eq. 7 broken down per dimension (per relation), for byte accounting.
+    duplication_by_dim: Tuple[int, ...]
+    #: Total candidate combinations summed over components (= product of cardinalities).
+    total_combinations: int
+    #: Candidate combinations of the most loaded component.
+    max_combinations_per_component: int
+    #: Input tuples (with duplication) of the most loaded component.
+    max_tuples_per_component: int
+    #: Standard deviation of per-component input tuples.
+    tuples_sigma: float
+
+
+class HypercubePartitioner:
+    """Hilbert-curve partition of the cross-product space of ``m`` relations."""
+
+    def __init__(
+        self,
+        cardinalities: Sequence[int],
+        num_components: int,
+        bits: int = 0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        cardinalities:
+            ``|R1|, ..., |Rm|`` in dimension order.
+        num_components:
+            kR — the number of reduce tasks / curve segments.
+        bits:
+            Grid resolution per dimension; 0 picks a sensible default.
+        """
+        if not cardinalities:
+            raise PartitionError("need at least one relation")
+        if any(c < 1 for c in cardinalities):
+            raise PartitionError(f"cardinalities must be positive: {cardinalities}")
+        if num_components < 1:
+            raise PartitionError("num_components must be >= 1")
+
+        self.cardinalities: Tuple[int, ...] = tuple(cardinalities)
+        self.dims = len(self.cardinalities)
+        self.bits = bits or choose_grid_bits(self.dims, num_components)
+        self.side = 1 << self.bits
+        self.num_cells = hilbert.curve_length(self.bits, self.dims)
+        if num_components > self.num_cells:
+            # Cannot have more components than grid cells; clamp like the
+            # paper clamps kR to the available resolution.
+            num_components = self.num_cells
+        self.num_components = num_components
+        #: Tuples of Ri covered by one grid slab along dimension i.
+        self.cell_widths: Tuple[int, ...] = tuple(
+            ceil_div(c, self.side) for c in self.cardinalities
+        )
+        #: Grid slabs actually populated along each dimension.
+        self.used_side: Tuple[int, ...] = tuple(
+            ceil_div(c, w) for c, w in zip(self.cardinalities, self.cell_widths)
+        )
+        self._slab_components: List[List[Tuple[int, ...]]] = []
+        self._build_slab_index()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def component_of_cell_index(self, curve_index: int) -> int:
+        """Balanced contiguous segmentation of the curve into components."""
+        return min(
+            self.num_components - 1,
+            curve_index * self.num_components // self.num_cells,
+        )
+
+    def _build_slab_index(self) -> None:
+        """One pass over all grid cells: which components touch each slab."""
+        touch: List[List[set]] = [
+            [set() for _ in range(self.side)] for _ in range(self.dims)
+        ]
+        for curve_index in range(self.num_cells):
+            cell = hilbert.index_to_point(curve_index, self.bits, self.dims)
+            component = self.component_of_cell_index(curve_index)
+            usable = True
+            for d, coordinate in enumerate(cell):
+                if coordinate >= self.used_side[d]:
+                    usable = False
+                    break
+            if not usable:
+                # Cells outside the populated region hold no tuples; they
+                # still belong to a segment but never receive data.
+                continue
+            for d, coordinate in enumerate(cell):
+                touch[d][coordinate].add(component)
+        self._slab_components = [
+            [tuple(sorted(s)) for s in per_dim] for per_dim in touch
+        ]
+
+    # ------------------------------------------------------------------
+    # tuple routing (Algorithm 1's map side)
+    # ------------------------------------------------------------------
+
+    def slab_of(self, dim: int, global_id: int) -> int:
+        """Grid slab along ``dim`` containing tuple ``global_id``."""
+        if not 0 <= dim < self.dims:
+            raise PartitionError(f"dimension {dim} outside [0, {self.dims})")
+        if not 0 <= global_id < self.cardinalities[dim]:
+            raise PartitionError(
+                f"global id {global_id} outside [0, {self.cardinalities[dim]}) "
+                f"for dimension {dim}"
+            )
+        return min(global_id // self.cell_widths[dim], self.used_side[dim] - 1)
+
+    def components_for(self, dim: int, global_id: int) -> Tuple[int, ...]:
+        """All components a tuple must be replicated to (its slab's components)."""
+        return self._slab_components[dim][self.slab_of(dim, global_id)]
+
+    def owner_component(self, global_ids: Sequence[int]) -> int:
+        """The unique component owning the joint cell of a tuple combination.
+
+        This is the reducer that may *output* the combination — the
+        deduplication rule that keeps results exact.
+        """
+        if len(global_ids) != self.dims:
+            raise PartitionError(
+                f"expected {self.dims} global ids, got {len(global_ids)}"
+            )
+        cell = tuple(self.slab_of(d, g) for d, g in enumerate(global_ids))
+        curve_index = hilbert.point_to_index(cell, self.bits, self.dims)
+        return self.component_of_cell_index(curve_index)
+
+    # ------------------------------------------------------------------
+    # analytics (Equations 7 and 10)
+    # ------------------------------------------------------------------
+
+    def duplication_by_dim(self) -> Tuple[int, ...]:
+        """Eq. 7 contribution of each dimension: copies of Ri's tuples sent out."""
+        per_dim: List[int] = []
+        for d, cardinality in enumerate(self.cardinalities):
+            width = self.cell_widths[d]
+            incidences = 0
+            for slab in range(self.used_side[d]):
+                tuples_in_slab = min(width, cardinality - slab * width)
+                incidences += tuples_in_slab * len(self._slab_components[d][slab])
+            per_dim.append(incidences)
+        return tuple(per_dim)
+
+    def duplication_score(self) -> int:
+        """Equation 7: sum over all tuples of how many components receive them."""
+        return sum(self.duplication_by_dim())
+
+    def summary(self) -> PartitionSummary:
+        """Per-component load statistics for the cost model."""
+        tuples_per_component: Dict[int, int] = {
+            c: 0 for c in range(self.num_components)
+        }
+        for d, cardinality in enumerate(self.cardinalities):
+            width = self.cell_widths[d]
+            for slab in range(self.used_side[d]):
+                tuples_in_slab = min(width, cardinality - slab * width)
+                for component in self._slab_components[d][slab]:
+                    tuples_per_component[component] += tuples_in_slab
+
+        combos_per_component: Dict[int, int] = {
+            c: 0 for c in range(self.num_components)
+        }
+        for curve_index in range(self.num_cells):
+            cell = hilbert.index_to_point(curve_index, self.bits, self.dims)
+            combos = 1
+            usable = True
+            for d, coordinate in enumerate(cell):
+                if coordinate >= self.used_side[d]:
+                    usable = False
+                    break
+                width = self.cell_widths[d]
+                combos *= min(width, self.cardinalities[d] - coordinate * width)
+            if not usable:
+                continue
+            combos_per_component[self.component_of_cell_index(curve_index)] += combos
+
+        loads = list(tuples_per_component.values())
+        mean_load = sum(loads) / len(loads)
+        sigma = math.sqrt(sum((v - mean_load) ** 2 for v in loads) / len(loads))
+        per_dim = self.duplication_by_dim()
+        return PartitionSummary(
+            num_components=self.num_components,
+            duplication_score=sum(per_dim),
+            duplication_by_dim=per_dim,
+            total_combinations=sum(combos_per_component.values()),
+            max_combinations_per_component=max(combos_per_component.values()),
+            max_tuples_per_component=max(loads),
+            tuples_sigma=sigma,
+        )
+
+
+class GridPartitioner(HypercubePartitioner):
+    """Row-major ("naive grid") ablation baseline: same grid, no Hilbert.
+
+    Cells are assigned to components in lexicographic order instead of
+    Hilbert order.  Theorem 2's proof predicts a worse duplication score
+    because lexicographic segments sweep one dimension completely before
+    advancing the others.
+    """
+
+    def component_of_cell_index(self, curve_index: int) -> int:
+        cell = hilbert.index_to_point(curve_index, self.bits, self.dims)
+        flat = 0
+        for coordinate in cell:
+            flat = flat * self.side + coordinate
+        return min(
+            self.num_components - 1, flat * self.num_components // self.num_cells
+        )
+
+
+class RandomPartitioner(HypercubePartitioner):
+    """Random cell-to-component assignment: the worst-case ablation baseline."""
+
+    def component_of_cell_index(self, curve_index: int) -> int:
+        from repro.utils import stable_hash
+
+        return stable_hash(("cell", curve_index), self.num_components)

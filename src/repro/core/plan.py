@@ -1,0 +1,169 @@
+"""Execution plans: the common output of our planner and the baselines.
+
+A plan is a list of :class:`PlannedJob` descriptions — physical join jobs
+over base relations and/or earlier job outputs — plus scheduling
+information (allotted units, dependencies).  The executor materialises
+each job into a :class:`MapReduceJobSpec`, runs it on the simulated
+cluster, and merges terminal outputs (Section 4.2's id-based merge) into
+the final result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+
+#: Physical strategies the executor can materialise.
+STRATEGY_HYPERCUBE = "hypercube"   # multi-way theta, one MRJ (Algorithm 1)
+STRATEGY_EQUI = "equi"             # repartition equi-join
+STRATEGY_BROADCAST = "broadcast"   # replicate-small pair-wise theta
+STRATEGY_ONEBUCKET = "onebucket"   # pair-wise theta via 2-dim Hilbert grid [25]
+STRATEGY_RANDOMCUBE = "randomcube" # pair-wise theta via random cell grid (Hive model)
+STRATEGY_EQUICHAIN = "equichain"   # multi-input joins on one key class (YSmart [23])
+
+VALID_STRATEGIES = frozenset(
+    {
+        STRATEGY_HYPERCUBE,
+        STRATEGY_EQUI,
+        STRATEGY_BROADCAST,
+        STRATEGY_ONEBUCKET,
+        STRATEGY_RANDOMCUBE,
+        STRATEGY_EQUICHAIN,
+    }
+)
+
+#: Strategies that accept more than two inputs.
+MULTI_INPUT_STRATEGIES = frozenset({STRATEGY_HYPERCUBE, STRATEGY_EQUICHAIN})
+
+
+@dataclass(frozen=True)
+class InputRef:
+    """A job input: either a base relation alias or a previous job's output."""
+
+    kind: str  # "base" | "job"
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("base", "job"):
+            raise PlanningError(f"invalid input kind {self.kind!r}")
+
+    @classmethod
+    def base(cls, alias: str) -> "InputRef":
+        return cls("base", alias)
+
+    @classmethod
+    def job(cls, job_id: str) -> "InputRef":
+        return cls("job", job_id)
+
+
+@dataclass
+class PlannedJob:
+    """One physical join job inside an execution plan."""
+
+    job_id: str
+    strategy: str
+    inputs: Tuple[InputRef, ...]
+    condition_ids: Tuple[int, ...]
+    num_reducers: int
+    units: int
+    depends_on: Tuple[str, ...] = ()
+    #: Hypercube grid resolution chosen at plan time (0 = choose at run time).
+    partition_bits: int = 0
+    output_replication: int = 1
+    #: Extra fixed latency (e.g. Pig's additional compilation/launch passes).
+    extra_startup_s: float = 0.0
+    est_duration_s: float = 0.0
+    est_start_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in VALID_STRATEGIES:
+            raise PlanningError(f"unknown strategy {self.strategy!r}")
+        if len(self.inputs) < 2:
+            raise PlanningError(f"job {self.job_id!r} needs at least two inputs")
+        if self.strategy not in MULTI_INPUT_STRATEGIES and len(self.inputs) != 2:
+            raise PlanningError(
+                f"job {self.job_id!r}: strategy {self.strategy} is pair-wise"
+            )
+        if not self.condition_ids:
+            raise PlanningError(f"job {self.job_id!r} evaluates no condition")
+        if self.num_reducers < 1 or self.units < 1:
+            raise PlanningError(f"job {self.job_id!r}: invalid reducers/units")
+
+
+@dataclass
+class ExecutionPlan:
+    """A complete strategy for evaluating one N-join query."""
+
+    name: str
+    method: str  # "ours" | "hive" | "pig" | "ysmart"
+    query_name: str
+    jobs: List[PlannedJob]
+    total_units: int
+    est_makespan_s: float = 0.0
+    est_merge_s: float = 0.0
+    #: Free-form planner diagnostics (candidate counts, pruning stats, ...).
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ids = [job.job_id for job in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise PlanningError(f"duplicate job ids in plan: {ids}")
+        known = set(ids)
+        for job in self.jobs:
+            for dep in job.depends_on:
+                if dep not in known:
+                    raise PlanningError(
+                        f"job {job.job_id!r} depends on unknown job {dep!r}"
+                    )
+            for ref in job.inputs:
+                if ref.kind == "job" and ref.name not in known:
+                    raise PlanningError(
+                        f"job {job.job_id!r} reads unknown job output {ref.name!r}"
+                    )
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    def job(self, job_id: str) -> PlannedJob:
+        for job in self.jobs:
+            if job.job_id == job_id:
+                return job
+        raise PlanningError(f"no job {job_id!r} in plan {self.name!r}")
+
+    def terminal_jobs(self) -> List[PlannedJob]:
+        """Jobs whose output is not consumed by another job — merge inputs."""
+        consumed = {
+            ref.name
+            for job in self.jobs
+            for ref in job.inputs
+            if ref.kind == "job"
+        }
+        return [job for job in self.jobs if job.job_id not in consumed]
+
+    def covered_condition_ids(self) -> frozenset:
+        covered: set = set()
+        for job in self.jobs:
+            covered.update(job.condition_ids)
+        return frozenset(covered)
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan summary."""
+        lines = [
+            f"Plan {self.name} ({self.method}) for {self.query_name}: "
+            f"{self.num_jobs} job(s), kP={self.total_units}, "
+            f"est. makespan {self.est_makespan_s:.1f}s"
+        ]
+        for job in self.jobs:
+            inputs = ", ".join(
+                ref.name if ref.kind == "base" else f"<{ref.name}>"
+                for ref in job.inputs
+            )
+            lines.append(
+                f"  {job.job_id}: {job.strategy}({inputs}) "
+                f"theta={list(job.condition_ids)} kR={job.num_reducers} "
+                f"units={job.units} est={job.est_duration_s:.1f}s"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Selecting Topt from the join-path graph: greedy weighted set cover.
+
+The sufficient job sets T (Definition 4) are exactly the covers of GJ's
+edge set by G'JP edges, and picking the best one is a weighted set-cover
+variant (Section 3.2), NP-hard.  Following the paper we use the greedy
+algorithm of Feige [14]: repeatedly take the candidate with the best
+cost per newly-covered join condition, giving the classic ln(n)
+approximation.  A final reverse sweep drops candidates made redundant by
+later picks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.core.join_path_graph import CandidateJob, JoinPathGraph
+from repro.errors import PlanningError
+
+
+def select_cover(gjp: JoinPathGraph, exponent: float = 1.0) -> List[CandidateJob]:
+    """Greedy weighted set cover of all join conditions by G'JP candidates.
+
+    ``exponent`` biases the cost-effectiveness ratio ``time / fresh**e``:
+    1.0 is the classic greedy; larger values favour candidates covering
+    many conditions at once (multi-way jobs).  The planner evaluates
+    several exponents and keeps the cover with the best estimated C(T).
+    """
+    universe: Set[int] = set(gjp.graph.edge_ids)
+    if not gjp.is_sufficient():
+        raise PlanningError("join-path graph does not cover all join conditions")
+
+    uncovered = set(universe)
+    chosen: List[CandidateJob] = []
+    candidates = list(gjp.candidates)
+    while uncovered:
+        best: CandidateJob = None  # type: ignore[assignment]
+        best_ratio = float("inf")
+        for candidate in candidates:
+            fresh = len(candidate.labels & uncovered)
+            if fresh == 0:
+                continue
+            ratio = candidate.time_s / (fresh ** exponent)
+            if ratio < best_ratio:
+                best_ratio = ratio
+                best = candidate
+        if best is None:
+            raise PlanningError("greedy cover stalled; graph not sufficient")
+        chosen.append(best)
+        uncovered -= best.labels
+
+    return prune_redundant(chosen, universe)
+
+
+def candidate_covers(gjp: JoinPathGraph) -> List[List[CandidateJob]]:
+    """A small portfolio of sufficient covers for the planner to price.
+
+    Contains the greedy covers at several coverage exponents, the
+    all-single-edges cover, and every single candidate that alone covers
+    the whole query.  Deduplicated by label-set composition.
+    """
+    universe: Set[int] = set(gjp.graph.edge_ids)
+    covers: List[List[CandidateJob]] = []
+    for exponent in (1.0, 2.0, 4.0):
+        covers.append(select_cover(gjp, exponent))
+    singles = gjp.single_edge_candidates()
+    if cover_is_sufficient(singles, universe):
+        covers.append(list(singles))
+    for candidate in gjp.candidates:
+        if candidate.labels >= universe:
+            covers.append([candidate])
+
+    unique: List[List[CandidateJob]] = []
+    seen: Set[frozenset] = set()
+    for cover in covers:
+        key = frozenset(c.labels for c in cover)
+        if key not in seen:
+            seen.add(key)
+            unique.append(cover)
+    return unique
+
+
+def prune_redundant(
+    chosen: Sequence[CandidateJob], universe: Set[int]
+) -> List[CandidateJob]:
+    """Drop any picked job whose conditions are all covered by the others.
+
+    Greedy covers can strand an early expensive pick once later picks
+    overlap it; the reverse sweep (most expensive first) removes them
+    while keeping the cover sufficient.
+    """
+    kept = list(chosen)
+    for candidate in sorted(chosen, key=lambda c: -c.time_s):
+        without = [c for c in kept if c is not candidate]
+        covered: Set[int] = set()
+        for other in without:
+            covered.update(other.labels)
+        if covered >= universe:
+            kept = without
+    return kept
+
+
+def cover_is_sufficient(
+    chosen: Sequence[CandidateJob], universe: Set[int]
+) -> bool:
+    covered: Set[int] = set()
+    for candidate in chosen:
+        covered.update(candidate.labels)
+    return covered >= universe

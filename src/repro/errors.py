@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by the library derives from
+:class:`ReproError`, so callers can catch a single type.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a field reference cannot be resolved."""
+
+
+class QueryError(ReproError):
+    """A join query is malformed (unknown alias, disconnected graph, ...)."""
+
+
+class PlanningError(ReproError):
+    """The planner could not produce a valid execution plan."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not place jobs within the given processing units."""
+
+
+class ExecutionError(ReproError):
+    """A MapReduce job failed during simulated execution."""
+
+
+class PartitionError(ReproError):
+    """Hypercube partitioning was asked for an invalid configuration."""

@@ -1,0 +1,685 @@
+"""MapReduce join-job builders.
+
+Three physical join operators, all consuming and producing files of
+composite records (:mod:`repro.joins.records`):
+
+* :func:`make_hypercube_join_job` — the paper's Algorithm 1: a multi-way
+  theta-join in ONE MapReduce job.  Each input file is one dimension of
+  the cross-product hyper-cube; tuples are replicated to the Hilbert-curve
+  components their grid slab intersects; each reducer evaluates its
+  component and outputs only combinations whose joint cell it *owns*
+  (exactness + no duplicates).
+* :func:`make_equi_join_job` — classic repartition equi-join: the join
+  attributes are the shuffle key; residual theta predicates are filtered
+  reducer-side.
+* :func:`make_broadcast_join_job` — the Hive/Pig-style pair-wise theta
+  fallback: the smaller input is replicated to every reducer, the larger
+  is hashed uniformly; reducers run a filtered nested loop.
+
+Reducers evaluate multi-way components *progressively* (dimension by
+dimension, applying every condition as soon as both its endpoints are
+bound) and charge the actually-performed comparisons to the task context,
+so reducer workload — the quantity the paper balances — is measured, not
+assumed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.partitioner import HypercubePartitioner
+from repro.errors import ExecutionError
+from repro.joins.records import (
+    Composite,
+    composite_width,
+    merge_composites,
+    rows_by_alias,
+)
+from repro.mapreduce.hdfs import DistributedFile
+from repro.mapreduce.job import MapReduceJobSpec, TaskContext
+from repro.relational.predicates import JoinCondition
+from repro.relational.schema import Schema
+from repro.utils import stable_hash
+
+
+def _ready_conditions(
+    conditions: Sequence[JoinCondition], bound_aliases: Iterable[str]
+) -> List[JoinCondition]:
+    bound = set(bound_aliases)
+    return [c for c in conditions if set(c.aliases) <= bound]
+
+
+def _composite_width_fn(schemas_by_alias: Mapping[str, Schema]):
+    """Exact serialized width of a composite, from schema-declared row widths."""
+    widths = {alias: schema.row_width for alias, schema in schemas_by_alias.items()}
+
+    def width(composite: Composite) -> int:
+        return sum(16 + widths[alias] for alias, _, _ in composite)
+
+    return width
+
+
+def _hash_plan_for_step(
+    ready: Sequence[JoinCondition],
+    bound_aliases: Iterable[str],
+    new_aliases: Iterable[str],
+):
+    """Equality predicates usable as a hash key when binding a new dimension.
+
+    Returns ``(bound_refs, new_refs)`` — attribute references to evaluate
+    on the partial result and on the new dimension's candidates — or
+    ``None`` when no zero-offset equality predicate crosses the boundary.
+    Reducers use this to probe instead of nested-looping, which is what a
+    real reduce-side implementation does for the equality part of a theta
+    condition; inequality predicates are still checked pair-wise.
+    """
+    bound = set(bound_aliases)
+    new = set(new_aliases)
+    bound_refs = []
+    new_refs = []
+    for condition in ready:
+        for predicate in condition.predicates:
+            if not predicate.op.is_equality:
+                continue
+            if predicate.left.offset != 0 or predicate.right.offset != 0:
+                continue
+            sides = {predicate.left.alias, predicate.right.alias}
+            if not (sides & bound and sides & new):
+                continue
+            if predicate.left.alias in bound:
+                bound_refs.append(predicate.left)
+                new_refs.append(predicate.right)
+            else:
+                bound_refs.append(predicate.right)
+                new_refs.append(predicate.left)
+    if not bound_refs:
+        return None
+    return bound_refs, new_refs
+
+
+def _key_values(composite: Composite, refs, schemas: Mapping[str, Schema]):
+    rows = rows_by_alias(composite)
+    return tuple(
+        rows[ref.alias][schemas[ref.alias].index_of(ref.attr)] for ref in refs
+    )
+
+
+def _range_plan_for_step(
+    ready: Sequence[JoinCondition],
+    bound_aliases: Iterable[str],
+    new_aliases: Iterable[str],
+):
+    """A sorted-probe plan for inequality predicates binding a new dimension.
+
+    Looks for predicates comparing a bound attribute against a single
+    attribute of the new dimension.  Returns ``(probe_ref, bounds)`` where
+    ``probe_ref`` is the new-side attribute to sort candidates by and
+    ``bounds`` is a list of ``(bound_ref, shift, kind)`` entries with kind
+    in {"lower", "lower_eq", "upper", "upper_eq"}: candidate values must
+    satisfy ``value > bound_value + shift`` (lower), ``>=`` (lower_eq), etc.
+    Returns ``None`` when no such predicate exists.
+    """
+    from repro.relational.predicates import ThetaOp
+
+    bound = set(bound_aliases)
+    new = set(new_aliases)
+    by_attr: Dict[Tuple[str, str], List[Tuple[object, float, str]]] = {}
+    for condition in ready:
+        for predicate in condition.predicates:
+            if predicate.op in (ThetaOp.EQ, ThetaOp.NE):
+                continue
+            sides = {predicate.left.alias, predicate.right.alias}
+            if not (sides & bound and sides & new):
+                continue
+            bound_alias = (
+                predicate.left.alias
+                if predicate.left.alias in bound
+                else predicate.right.alias
+            )
+            oriented = predicate.oriented(bound_alias)
+            bound_ref, new_ref = oriented.left, oriented.right
+            # (bound_val + lo) op (new_val + ro)  <=>  new_val op' bound_val + shift
+            shift = bound_ref.offset - new_ref.offset
+            kind = {
+                ThetaOp.LT: "lower",      # new > bound + shift
+                ThetaOp.LE: "lower_eq",   # new >= bound + shift
+                ThetaOp.GT: "upper",      # new < bound + shift
+                ThetaOp.GE: "upper_eq",   # new <= bound + shift
+            }[oriented.op]
+            by_attr.setdefault((new_ref.alias, new_ref.attr), []).append(
+                (bound_ref, shift, kind)
+            )
+    if not by_attr:
+        return None
+    # Probe on the attribute with the most constraints (tightest range).
+    key = max(by_attr, key=lambda k: len(by_attr[k]))
+    from repro.relational.predicates import AttrRef
+
+    return AttrRef(key[0], key[1]), by_attr[key]
+
+
+def _check(
+    conditions: Sequence[JoinCondition],
+    composite: Composite,
+    schemas: Mapping[str, Schema],
+) -> bool:
+    if not conditions:
+        return True
+    rows = rows_by_alias(composite)
+    return all(c.evaluate(rows, schemas) for c in conditions)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1: multi-way theta-join in one MapReduce job
+# ---------------------------------------------------------------------------
+
+def make_hypercube_join_job(
+    name: str,
+    dim_files: Sequence[DistributedFile],
+    dim_aliases: Sequence[Tuple[str, ...]],
+    partitioner: HypercubePartitioner,
+    conditions: Sequence[JoinCondition],
+    schemas_by_alias: Mapping[str, Schema],
+    output_name: str = "",
+) -> MapReduceJobSpec:
+    """One-MRJ multi-way theta-join over the hyper-cube partition.
+
+    ``dim_files[i]`` is dimension ``i`` of the cube; its records must be
+    composites covering exactly the aliases in ``dim_aliases[i]``.  The
+    partitioner's cardinalities must equal the file record counts.
+    """
+    if len(dim_files) != partitioner.dims:
+        raise ExecutionError(
+            f"job {name!r}: {len(dim_files)} inputs but partitioner has "
+            f"{partitioner.dims} dimensions"
+        )
+    if len(dim_aliases) != len(dim_files):
+        raise ExecutionError(f"job {name!r}: dim_aliases arity mismatch")
+    for index, file in enumerate(dim_files):
+        if file.num_records != partitioner.cardinalities[index]:
+            raise ExecutionError(
+                f"job {name!r}: input {file.name!r} has {file.num_records} "
+                f"records but partitioner expects {partitioner.cardinalities[index]}"
+            )
+
+    dim_of_tag = {file.tag: index for index, file in enumerate(dim_files)}
+    if len(dim_of_tag) != len(dim_files):
+        raise ExecutionError(f"job {name!r}: input files must carry distinct tags")
+
+    all_aliases: List[str] = sorted({a for group in dim_aliases for a in group})
+    output_width = composite_width(schemas_by_alias, all_aliases)
+
+    # Conditions that become checkable after each progressive step, given
+    # the fixed dimension order 0, 1, ..., m-1.
+    ready_at_step: List[List[JoinCondition]] = []
+    seen_conditions: set = set()
+    bound: set = set()
+    for step in range(len(dim_files)):
+        bound.update(dim_aliases[step])
+        ready = [
+            c
+            for c in conditions
+            if id(c) not in seen_conditions and set(c.aliases) <= bound
+        ]
+        seen_conditions.update(id(c) for c in ready)
+        ready_at_step.append(ready)
+
+    def mapper(tag: str, record: object, ctx: TaskContext):
+        dim = dim_of_tag[tag]
+        gid = ctx.record_index
+        for component in partitioner.components_for(dim, gid):
+            yield component, (dim, gid, record)
+
+    def reducer(component: object, values: List[object], ctx: TaskContext):
+        per_dim: List[List[Tuple[int, Composite]]] = [
+            [] for _ in range(partitioner.dims)
+        ]
+        for dim, gid, composite in values:
+            per_dim[dim].append((gid, composite))
+        # Progressive join: (per-dim ids so far, merged composite).
+        partial: List[Tuple[Tuple[int, ...], Composite]] = [((), ())]
+        for step, candidates in enumerate(per_dim):
+            if not candidates:
+                return
+            ready = ready_at_step[step]
+            hash_plan = None
+            range_plan = None
+            if step > 0:
+                bound = {a for group in dim_aliases[:step] for a in group}
+                hash_plan = _hash_plan_for_step(ready, bound, dim_aliases[step])
+                if hash_plan is None:
+                    range_plan = _range_plan_for_step(
+                        ready, bound, dim_aliases[step]
+                    )
+            grown: List[Tuple[Tuple[int, ...], Composite]] = []
+            if hash_plan is not None:
+                # Probe by the equality part of the theta condition; only
+                # same-key candidates are tested pair-wise.
+                bound_refs, new_refs = hash_plan
+                index: Dict[Tuple[object, ...], List[Tuple[int, Composite]]] = {}
+                for gid, composite in candidates:
+                    index.setdefault(
+                        _key_values(composite, new_refs, schemas_by_alias), []
+                    ).append((gid, composite))
+                for ids, accumulated in partial:
+                    key = _key_values(accumulated, bound_refs, schemas_by_alias)
+                    for gid, composite in index.get(key, ()):
+                        ctx.charge_comparisons(1)
+                        merged = merge_composites(accumulated, composite)
+                        if merged is None:
+                            continue
+                        if _check(ready, merged, schemas_by_alias):
+                            grown.append((ids + (gid,), merged))
+            elif range_plan is not None:
+                # Sort once by the probed attribute, then bisect the value
+                # interval implied by each partial's bound attributes.
+                import bisect as _bisect
+
+                probe_ref, bounds = range_plan
+                probe_schema = schemas_by_alias[probe_ref.alias]
+                probe_idx = probe_schema.index_of(probe_ref.attr)
+                decorated = sorted(
+                    (
+                        (
+                            rows_by_alias(composite)[probe_ref.alias][probe_idx],
+                            gid,
+                            composite,
+                        )
+                        for gid, composite in candidates
+                    ),
+                    key=lambda item: item[0],
+                )
+                values = [item[0] for item in decorated]
+                for ids, accumulated in partial:
+                    rows = rows_by_alias(accumulated)
+                    lo, hi = 0, len(decorated)
+                    for bound_ref, shift, kind in bounds:
+                        bound_value = (
+                            rows[bound_ref.alias][
+                                schemas_by_alias[bound_ref.alias].index_of(
+                                    bound_ref.attr
+                                )
+                            ]
+                            + shift
+                        )
+                        if kind == "lower":
+                            lo = max(lo, _bisect.bisect_right(values, bound_value))
+                        elif kind == "lower_eq":
+                            lo = max(lo, _bisect.bisect_left(values, bound_value))
+                        elif kind == "upper":
+                            hi = min(hi, _bisect.bisect_left(values, bound_value))
+                        else:  # upper_eq
+                            hi = min(hi, _bisect.bisect_right(values, bound_value))
+                    for position in range(lo, hi):
+                        _, gid, composite = decorated[position]
+                        ctx.charge_comparisons(1)
+                        merged = merge_composites(accumulated, composite)
+                        if merged is None:
+                            continue
+                        if _check(ready, merged, schemas_by_alias):
+                            grown.append((ids + (gid,), merged))
+            else:
+                for ids, accumulated in partial:
+                    for gid, composite in candidates:
+                        ctx.charge_comparisons(1)
+                        merged = merge_composites(accumulated, composite)
+                        if merged is None:
+                            continue
+                        if _check(ready, merged, schemas_by_alias):
+                            grown.append((ids + (gid,), merged))
+            partial = grown
+            if not partial:
+                return
+        for ids, merged in partial:
+            # Ownership rule: output only combinations whose joint grid
+            # cell falls in this reducer's curve segment.
+            if partitioner.owner_component(ids) == component:
+                yield merged
+
+    composite_bytes = _composite_width_fn(schemas_by_alias)
+
+    def value_width(value: object) -> int:
+        _dim, _gid, composite = value  # type: ignore[misc]
+        return 16 + composite_bytes(composite)
+
+    return MapReduceJobSpec(
+        name=name,
+        inputs=list(dim_files),
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=partitioner.num_components,
+        output_record_width=output_width,
+        pair_width_fn=value_width,
+        output_name=output_name or f"{name}.out",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Repartition equi-join with residual theta filters
+# ---------------------------------------------------------------------------
+
+def make_equi_join_job(
+    name: str,
+    left_file: DistributedFile,
+    right_file: DistributedFile,
+    conditions: Sequence[JoinCondition],
+    schemas_by_alias: Mapping[str, Schema],
+    num_reducers: int,
+    output_name: str = "",
+    left_aliases: Optional[Tuple[str, ...]] = None,
+    right_aliases: Optional[Tuple[str, ...]] = None,
+) -> MapReduceJobSpec:
+    """Hash-partitioned equi-join keyed on all pure-equality predicates.
+
+    Every equality predicate with zero offsets between the two inputs
+    becomes part of the shuffle key; any remaining predicates are applied
+    as reducer-side filters.  At least one key predicate is required —
+    otherwise use the broadcast or hypercube job.
+    """
+    key_predicates = []
+    residual: List[JoinCondition] = []
+    for condition in conditions:
+        keys_here = [
+            p
+            for p in condition.predicates
+            if p.op.is_equality and p.left.offset == 0 and p.right.offset == 0
+        ]
+        key_predicates.extend(keys_here)
+        if len(keys_here) != len(condition.predicates):
+            residual.append(condition)
+    if not key_predicates:
+        raise ExecutionError(
+            f"job {name!r}: equi-join requires at least one equality predicate"
+        )
+
+    left_tag, right_tag = left_file.tag, right_file.tag
+    if left_tag == right_tag:
+        raise ExecutionError(f"job {name!r}: inputs must carry distinct tags")
+
+    left_aliases = set(left_aliases or _file_aliases(left_file))
+    right_aliases = set(right_aliases or _file_aliases(right_file))
+    for predicate in key_predicates:
+        sides = {predicate.left.alias, predicate.right.alias}
+        if not (sides & left_aliases and sides & right_aliases):
+            raise ExecutionError(
+                f"job {name!r}: key predicate {predicate} does not connect "
+                f"the two inputs"
+            )
+    all_aliases = sorted(left_aliases | right_aliases)
+    output_width = composite_width(schemas_by_alias, all_aliases)
+
+    def key_of(composite: Composite) -> Tuple[object, ...]:
+        rows = rows_by_alias(composite)
+        key: List[object] = []
+        for predicate in key_predicates:
+            ref = predicate.left if predicate.left.alias in rows else predicate.right
+            schema = schemas_by_alias[ref.alias]
+            key.append(rows[ref.alias][schema.index_of(ref.attr)])
+        return tuple(key)
+
+    def mapper(tag: str, record: object, ctx: TaskContext):
+        composite: Composite = record  # type: ignore[assignment]
+        yield ("k", key_of(composite)), (tag == left_tag, composite)
+
+    def reducer(key: object, values: List[object], ctx: TaskContext):
+        lefts = [c for from_left, c in values if from_left]
+        rights = [c for from_left, c in values if not from_left]
+        ctx.charge_comparisons(len(lefts) * len(rights))
+        for left in lefts:
+            for right in rights:
+                merged = merge_composites(left, right)
+                if merged is None:
+                    continue
+                if _check(list(conditions), merged, schemas_by_alias):
+                    yield merged
+
+    composite_bytes = _composite_width_fn(schemas_by_alias)
+
+    def value_width(value: object) -> int:
+        _from_left, composite = value  # type: ignore[misc]
+        return 2 + composite_bytes(composite)
+
+    return MapReduceJobSpec(
+        name=name,
+        inputs=[left_file, right_file],
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=num_reducers,
+        output_record_width=output_width,
+        pair_width_fn=value_width,
+        output_name=output_name or f"{name}.out",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Broadcast (fragment-replicate) pair-wise theta-join
+# ---------------------------------------------------------------------------
+
+def make_broadcast_join_job(
+    name: str,
+    big_file: DistributedFile,
+    small_file: DistributedFile,
+    conditions: Sequence[JoinCondition],
+    schemas_by_alias: Mapping[str, Schema],
+    num_reducers: int,
+    output_name: str = "",
+    big_aliases: Optional[Tuple[str, ...]] = None,
+    small_aliases: Optional[Tuple[str, ...]] = None,
+) -> MapReduceJobSpec:
+    """Pair-wise theta-join by replicating the small input to all reducers.
+
+    This is how Hive/Pig era systems evaluate an arbitrary theta predicate:
+    a cross join (small side broadcast) followed by a filter.  Network
+    volume is ``|small| * n + |big|`` — the baseline our hypercube job is
+    measured against.
+    """
+    if big_file.tag == small_file.tag:
+        raise ExecutionError(f"job {name!r}: inputs must carry distinct tags")
+    big_tag = big_file.tag
+    all_aliases = sorted(
+        set(big_aliases or _file_aliases(big_file))
+        | set(small_aliases or _file_aliases(small_file))
+    )
+    output_width = composite_width(schemas_by_alias, all_aliases)
+
+    def mapper(tag: str, record: object, ctx: TaskContext):
+        if tag == big_tag:
+            yield stable_hash(("b", ctx.record_index), num_reducers), ("big", record)
+        else:
+            for component in range(num_reducers):
+                yield component, ("small", record)
+
+    def reducer(component: object, values: List[object], ctx: TaskContext):
+        bigs = [c for side, c in values if side == "big"]
+        smalls = [c for side, c in values if side == "small"]
+        ctx.charge_comparisons(len(bigs) * len(smalls))
+        for big in bigs:
+            for small in smalls:
+                merged = merge_composites(big, small)
+                if merged is None:
+                    continue
+                if _check(list(conditions), merged, schemas_by_alias):
+                    yield merged
+
+    composite_bytes = _composite_width_fn(schemas_by_alias)
+
+    def value_width(value: object) -> int:
+        _side, composite = value  # type: ignore[misc]
+        return 6 + composite_bytes(composite)
+
+    return MapReduceJobSpec(
+        name=name,
+        inputs=[big_file, small_file],
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=num_reducers,
+        output_record_width=output_width,
+        pair_width_fn=value_width,
+        output_name=output_name or f"{name}.out",
+    )
+
+
+def _file_aliases(file: DistributedFile) -> Tuple[str, ...]:
+    """Aliases covered by a composite file (from its first record)."""
+    if not file.records:
+        return ()
+    first: Composite = file.records[0]  # type: ignore[assignment]
+    return tuple(entry[0] for entry in first)
+
+
+# ---------------------------------------------------------------------------
+# Equichain: several inputs co-partitioned on one equality class (YSmart's
+# common-MapReduce framework / transit correlation, Lee et al. [23])
+# ---------------------------------------------------------------------------
+
+def find_single_key_class(
+    conditions: Sequence[JoinCondition],
+    alias_groups: Sequence[Tuple[str, ...]],
+):
+    """An equality class covering every input, or ``None``.
+
+    Builds the equivalence classes of attribute references connected by
+    zero-offset equality predicates.  When one class contains a reference
+    into *every* alias group, all inputs can be co-partitioned on that
+    class in a single MapReduce job — YSmart's transit-correlation merge.
+    Returns ``{alias: AttrRef}`` (one key reference per alias that has
+    one) or ``None``.
+    """
+    parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(x):
+        while parent.get(x, x) != x:
+            parent[x] = parent.get(parent[x], parent[x])
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        parent.setdefault(a, a)
+        parent.setdefault(b, b)
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    refs = []
+    for condition in conditions:
+        for predicate in condition.predicates:
+            if not predicate.op.is_equality:
+                continue
+            if predicate.left.offset != 0 or predicate.right.offset != 0:
+                continue
+            left = (predicate.left.alias, predicate.left.attr)
+            right = (predicate.right.alias, predicate.right.attr)
+            union(left, right)
+            refs.extend([predicate.left, predicate.right])
+    if not refs:
+        return None
+
+    classes: Dict[Tuple[str, str], List] = {}
+    for ref in refs:
+        classes.setdefault(find((ref.alias, ref.attr)), []).append(ref)
+    for members in classes.values():
+        member_aliases = {ref.alias for ref in members}
+        if all(set(group) & member_aliases for group in alias_groups):
+            by_alias = {}
+            for ref in members:
+                by_alias.setdefault(ref.alias, ref)
+            return by_alias
+    return None
+
+
+def make_equichain_join_job(
+    name: str,
+    input_files: Sequence[DistributedFile],
+    conditions: Sequence[JoinCondition],
+    schemas_by_alias: Mapping[str, Schema],
+    num_reducers: int,
+    output_name: str = "",
+    alias_groups: Optional[Sequence[Tuple[str, ...]]] = None,
+) -> MapReduceJobSpec:
+    """Several joins sharing one equality key class, in one MapReduce job.
+
+    All inputs are hash-partitioned by the shared key; reducers join the
+    co-located groups progressively, applying every condition (equality
+    and residual theta alike) as soon as its aliases are bound.  This is
+    the merged job YSmart's common-MapReduce framework produces for
+    transit-correlated joins.
+    """
+    alias_groups = list(alias_groups or [_file_aliases(f) for f in input_files])
+    key_refs = find_single_key_class(conditions, alias_groups)
+    if key_refs is None:
+        raise ExecutionError(
+            f"job {name!r}: inputs do not share a single equality key class"
+        )
+    tags = [f.tag for f in input_files]
+    if len(set(tags)) != len(tags):
+        raise ExecutionError(f"job {name!r}: inputs must carry distinct tags")
+    tag_index = {tag: i for i, tag in enumerate(tags)}
+    key_ref_of_tag = {}
+    for file, group in zip(input_files, alias_groups):
+        for alias in group:
+            if alias in key_refs:
+                key_ref_of_tag[file.tag] = key_refs[alias]
+                break
+
+    all_aliases = sorted({a for group in alias_groups for a in group})
+    output_width = composite_width(schemas_by_alias, all_aliases)
+
+    ready_at_step: List[List[JoinCondition]] = []
+    seen: set = set()
+    bound: set = set()
+    for group in alias_groups:
+        bound.update(group)
+        ready = [
+            c for c in conditions if id(c) not in seen and set(c.aliases) <= bound
+        ]
+        seen.update(id(c) for c in ready)
+        ready_at_step.append(ready)
+
+    def mapper(tag: str, record: object, ctx: TaskContext):
+        composite: Composite = record  # type: ignore[assignment]
+        ref = key_ref_of_tag[tag]
+        rows = rows_by_alias(composite)
+        key = rows[ref.alias][schemas_by_alias[ref.alias].index_of(ref.attr)]
+        yield ("k", key), (tag_index[tag], composite)
+
+    def reducer(key: object, values: List[object], ctx: TaskContext):
+        per_input: List[List[Composite]] = [[] for _ in input_files]
+        for index, composite in values:
+            per_input[index].append(composite)
+        partial: List[Composite] = [()]
+        for step, candidates in enumerate(per_input):
+            if not candidates:
+                return
+            ready = ready_at_step[step]
+            grown: List[Composite] = []
+            for accumulated in partial:
+                for composite in candidates:
+                    ctx.charge_comparisons(1)
+                    merged = merge_composites(accumulated, composite)
+                    if merged is None:
+                        continue
+                    if _check(ready, merged, schemas_by_alias):
+                        grown.append(merged)
+            partial = grown
+            if not partial:
+                return
+        for merged in partial:
+            yield merged
+
+    composite_bytes = _composite_width_fn(schemas_by_alias)
+
+    def value_width(value: object) -> int:
+        _index, composite = value  # type: ignore[misc]
+        return 8 + composite_bytes(composite)
+
+    return MapReduceJobSpec(
+        name=name,
+        inputs=list(input_files),
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=num_reducers,
+        output_record_width=output_width,
+        pair_width_fn=value_width,
+        output_name=output_name or f"{name}.out",
+    )

@@ -1,0 +1,145 @@
+"""Composite join records flowing between MapReduce join jobs.
+
+A composite record is the partial-join currency of the whole pipeline:
+a tuple of ``(alias, global_id, row)`` entries, sorted by alias.  Base
+relations lift to singleton composites; every join job consumes composite
+files and produces wider composites; the final projection unpacks them.
+
+Keeping the per-alias *global id* around is what makes the cheap merge
+step of Section 4.2 possible: two partial results that share a relation
+merge by comparing ids only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.mapreduce.hdfs import DistributedFile
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Schema
+
+#: One constituent of a composite: (alias, global id within its relation, row).
+Entry = Tuple[str, int, Row]
+#: A composite record: alias-sorted tuple of entries.
+Composite = Tuple[Entry, ...]
+
+
+def singleton(alias: str, global_id: int, row: Row) -> Composite:
+    return ((alias, global_id, row),)
+
+
+def aliases_of(composite: Composite) -> Tuple[str, ...]:
+    return tuple(entry[0] for entry in composite)
+
+
+def entry_for(composite: Composite, alias: str) -> Entry:
+    for entry in composite:
+        if entry[0] == alias:
+            return entry
+    raise ExecutionError(f"composite has no entry for alias {alias!r}")
+
+
+def row_of(composite: Composite, alias: str) -> Row:
+    return entry_for(composite, alias)[2]
+
+
+def global_id_of(composite: Composite, alias: str) -> int:
+    return entry_for(composite, alias)[1]
+
+
+def rows_by_alias(composite: Composite) -> Dict[str, Row]:
+    return {alias: row for alias, _, row in composite}
+
+
+def merge_composites(left: Composite, right: Composite) -> Optional[Composite]:
+    """Union of two composites; ``None`` when shared aliases disagree on ids.
+
+    This is the merge rule of Section 4.2: partial results agree on a
+    shared relation exactly when they picked the same tuple of it.
+    """
+    merged: Dict[str, Entry] = {alias: (alias, gid, row) for alias, gid, row in left}
+    for alias, gid, row in right:
+        existing = merged.get(alias)
+        if existing is not None:
+            if existing[1] != gid:
+                return None
+        else:
+            merged[alias] = (alias, gid, row)
+    return tuple(merged[a] for a in sorted(merged))
+
+
+def composite_width(schemas_by_alias: Mapping[str, Schema], aliases: Iterable[str]) -> int:
+    """Serialized bytes of one composite over the given aliases."""
+    total = 0
+    for alias in aliases:
+        # alias tag + global id + the row itself.
+        total += 8 + 8 + schemas_by_alias[alias].row_width
+    return total
+
+
+def relation_to_composite_file(
+    relation: Relation, alias: str, file_name: Optional[str] = None
+) -> DistributedFile:
+    """Lift a base relation into a file of singleton composites.
+
+    Row position is the global id — unique and uniformly spread, matching
+    Algorithm 1's random-id assignment semantics.
+    """
+    records: List[Composite] = [
+        singleton(alias, index, row) for index, row in enumerate(relation.rows)
+    ]
+    return DistributedFile(
+        name=file_name or f"{alias}:{relation.name}",
+        records=records,
+        record_width=8 + 8 + relation.schema.row_width,
+        tag=alias,
+    )
+
+
+def composites_to_relation(
+    composites: Sequence[Composite],
+    schemas_by_alias: Mapping[str, Schema],
+    name: str,
+    projection: Optional[Sequence[Tuple[str, str]]] = None,
+) -> Relation:
+    """Unpack composites into a flat output relation.
+
+    Without a projection the output is the concatenation of all alias rows
+    in alias order, with fields named ``alias_field``.
+    """
+    if projection:
+        from repro.relational.schema import Field
+
+        fields = []
+        for alias, attr in projection:
+            source = schemas_by_alias[alias].field(attr)
+            fields.append(Field(f"{alias}_{attr}", source.kind, source.width))
+        schema = Schema(fields)
+        out = Relation(name, schema)
+        for composite in composites:
+            rows = rows_by_alias(composite)
+            out.append(
+                tuple(
+                    rows[alias][schemas_by_alias[alias].index_of(attr)]
+                    for alias, attr in projection
+                )
+            )
+        return out
+
+    from repro.relational.schema import Field
+
+    aliases = sorted(schemas_by_alias)
+    fields = []
+    for alias in aliases:
+        for f in schemas_by_alias[alias].fields:
+            fields.append(Field(f"{alias}_{f.name}", f.kind, f.width))
+    schema = Schema(fields)
+    out = Relation(name, schema)
+    for composite in composites:
+        rows = rows_by_alias(composite)
+        flat: List[object] = []
+        for alias in aliases:
+            flat.extend(rows[alias])
+        out.append(tuple(flat))
+    return out

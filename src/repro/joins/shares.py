@@ -1,0 +1,242 @@
+"""Afrati-Ullman share-based multi-way equi-join (reference [2]).
+
+The paper contrasts its hyper-cube theta partitioning with Afrati and
+Ullman's optimisation of multi-way *equi*-joins in one MapReduce job:
+each join attribute ``x`` receives a "share" ``s_x``, the reducer grid is
+the cross product of the shares, and a tuple is routed by hashing the
+join-attribute values it carries — replicated over the grid dimensions of
+attributes it lacks.  Communication is minimised by choosing shares via
+the Lagrangean condition (each relation's volume times the product of
+the shares it misses is equalised); we implement the standard iterative
+approximation over integer share vectors.
+
+The operator only supports pure equality conditions — exactly the
+limitation the paper works around with the Hilbert hyper-cube (Section
+1: "the solution proposed in [2] cannot be extended to solve the case of
+multi-way Theta-joins").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, PlanningError
+from repro.joins.jobs import _check, _composite_width_fn
+from repro.joins.records import (
+    Composite,
+    composite_width,
+    merge_composites,
+    rows_by_alias,
+)
+from repro.mapreduce.hdfs import DistributedFile
+from repro.mapreduce.job import MapReduceJobSpec, TaskContext
+from repro.relational.predicates import JoinCondition
+from repro.relational.schema import Schema
+from repro.utils import stable_hash
+
+
+def attribute_classes(
+    conditions: Sequence[JoinCondition],
+) -> List[Dict[str, str]]:
+    """Equality classes of join attributes: each is ``{alias: attr}``.
+
+    Every class becomes one dimension of the share grid.  Raises if any
+    predicate is not a zero-offset equality (shares cannot route theta).
+    """
+    parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(x):
+        while parent.get(x, x) != x:
+            parent[x] = parent.get(parent[x], parent[x])
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        parent.setdefault(a, a)
+        parent.setdefault(b, b)
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for condition in conditions:
+        for predicate in condition.predicates:
+            if not (
+                predicate.op.is_equality
+                and predicate.left.offset == 0
+                and predicate.right.offset == 0
+            ):
+                raise PlanningError(
+                    "share-based join supports pure equality predicates only; "
+                    f"got {predicate}"
+                )
+            union(
+                (predicate.left.alias, predicate.left.attr),
+                (predicate.right.alias, predicate.right.attr),
+            )
+
+    groups: Dict[Tuple[str, str], Dict[str, str]] = {}
+    for alias, attr in list(parent):
+        root = find((alias, attr))
+        groups.setdefault(root, {})[alias] = attr
+    return sorted(groups.values(), key=lambda g: sorted(g.items()))
+
+
+def optimize_shares(
+    relation_sizes: Mapping[str, float],
+    classes: Sequence[Mapping[str, str]],
+    total_reducers: int,
+) -> List[int]:
+    """Integer share vector with product <= total_reducers.
+
+    Greedy hill climbing on the communication cost
+    ``sum_R |R| * prod(shares of classes R misses)`` — each step doubles
+    the share that most reduces the cost, the standard practical
+    approximation of the Lagrangean optimum.
+    """
+    if total_reducers < 1:
+        raise PlanningError("total_reducers must be >= 1")
+    shares = [1] * len(classes)
+
+    def cost(vector: Sequence[int]) -> float:
+        total = 0.0
+        for alias, size in relation_sizes.items():
+            replication = 1
+            for index, klass in enumerate(classes):
+                if alias not in klass:
+                    replication *= vector[index]
+            total += size * replication
+        return total
+
+    improved = True
+    while improved:
+        improved = False
+        best_index = -1
+        best_cost = cost(shares)
+        for index in range(len(shares)):
+            trial = list(shares)
+            trial[index] *= 2
+            product = 1
+            for s in trial:
+                product *= s
+            if product > total_reducers:
+                continue
+            trial_cost = cost(trial)
+            if trial_cost < best_cost:
+                best_cost = trial_cost
+                best_index = index
+        if best_index >= 0:
+            shares[best_index] *= 2
+            improved = True
+    return shares
+
+
+def make_shares_join_job(
+    name: str,
+    input_files: Sequence[DistributedFile],
+    conditions: Sequence[JoinCondition],
+    schemas_by_alias: Mapping[str, Schema],
+    total_reducers: int,
+    output_name: str = "",
+    shares: Optional[Sequence[int]] = None,
+) -> MapReduceJobSpec:
+    """Multi-way equi-join in one MapReduce job via attribute shares.
+
+    ``input_files`` are composite files, one per alias (tag = alias).
+    """
+    classes = attribute_classes(conditions)
+    if not classes:
+        raise PlanningError(f"job {name!r}: no equality classes to share on")
+    aliases = [f.tag for f in input_files]
+    if len(set(aliases)) != len(aliases):
+        raise ExecutionError(f"job {name!r}: inputs must carry distinct tags")
+    sizes = {f.tag: float(f.size_bytes) for f in input_files}
+    share_vector = list(
+        shares if shares is not None else optimize_shares(sizes, classes, total_reducers)
+    )
+    if len(share_vector) != len(classes):
+        raise PlanningError(f"job {name!r}: share vector arity mismatch")
+    num_reducers = 1
+    for share in share_vector:
+        num_reducers *= share
+
+    all_aliases = sorted(schemas_by_alias)
+    output_width = composite_width(schemas_by_alias, aliases)
+
+    def grid_to_reducer(coordinates: Sequence[int]) -> int:
+        flat = 0
+        for coordinate, share in zip(coordinates, share_vector):
+            flat = flat * share + coordinate
+        return flat
+
+    def mapper(tag: str, record: object, ctx: TaskContext):
+        composite: Composite = record  # type: ignore[assignment]
+        rows = rows_by_alias(composite)
+        known: List[Optional[int]] = []
+        for index, klass in enumerate(classes):
+            attr = None
+            for alias in rows:
+                if alias in klass:
+                    attr = (alias, klass[alias])
+                    break
+            if attr is None:
+                known.append(None)
+                continue
+            value = rows[attr[0]][schemas_by_alias[attr[0]].index_of(attr[1])]
+            known.append(stable_hash(("share", index, value), share_vector[index]))
+        free_dims = [i for i, v in enumerate(known) if v is None]
+        for combination in itertools.product(
+            *(range(share_vector[i]) for i in free_dims)
+        ):
+            coordinates = list(known)
+            for dim, value in zip(free_dims, combination):
+                coordinates[dim] = value
+            yield grid_to_reducer(coordinates), (tag, composite)  # type: ignore[arg-type]
+
+    alias_order = aliases
+
+    def reducer(key: object, values: List[object], ctx: TaskContext):
+        per_alias: Dict[str, List[Composite]] = {alias: [] for alias in alias_order}
+        for tag, composite in values:
+            per_alias[tag].append(composite)
+        partial: List[Composite] = [()]
+        bound: List[str] = []
+        for alias in alias_order:
+            candidates = per_alias[alias]
+            if not candidates:
+                return
+            bound.append(alias)
+            ready = [
+                c for c in conditions if set(c.aliases) <= set(bound)
+            ]
+            grown: List[Composite] = []
+            for accumulated in partial:
+                for composite in candidates:
+                    ctx.charge_comparisons(1)
+                    merged = merge_composites(accumulated, composite)
+                    if merged is None:
+                        continue
+                    if _check(ready, merged, schemas_by_alias):
+                        grown.append(merged)
+            partial = grown
+            if not partial:
+                return
+        for merged in partial:
+            yield merged
+
+    composite_bytes = _composite_width_fn(schemas_by_alias)
+
+    def value_width(value: object) -> int:
+        tag, composite = value  # type: ignore[misc]
+        return 4 + len(tag) + composite_bytes(composite)
+
+    return MapReduceJobSpec(
+        name=name,
+        inputs=list(input_files),
+        mapper=mapper,
+        reducer=reducer,
+        num_reducers=num_reducers,
+        output_record_width=output_width,
+        pair_width_fn=value_width,
+        output_name=output_name or f"{name}.out",
+    )

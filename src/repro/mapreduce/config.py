@@ -1,0 +1,106 @@
+"""Cluster and Hadoop configuration for the simulated MapReduce substrate.
+
+Defaults mirror the paper's test bed (Section 6.1): a 13-node cluster
+(1 master + 12 workers), 104 cores total, TestDFSIO-measured disk rates
+of 74.26 MB/s reading and 14.69 MB/s writing, a 10 GbE switch, and the
+Hadoop parameter set of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.utils import MB
+
+
+@dataclass(frozen=True)
+class HadoopParameters:
+    """The Hadoop knobs of the paper's Table 1 ("Set" column)."""
+
+    fs_block_size: int = 64 * MB
+    io_sort_mb: int = 512
+    io_sort_record_percentage: float = 0.1
+    io_sort_spill_percentage: float = 0.9
+    io_sort_factor: int = 300
+    dfs_replication: int = 3
+
+    @property
+    def io_sort_bytes(self) -> int:
+        return self.io_sort_mb * MB
+
+    @property
+    def spill_threshold_bytes(self) -> float:
+        """Bytes of map output buffered before a background spill starts."""
+        return self.io_sort_bytes * self.io_sort_spill_percentage
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Hardware shape and measured rates of the simulated cluster."""
+
+    #: Worker nodes (the paper has 13 nodes, one of which is the master).
+    worker_nodes: int = 12
+    #: Cores per worker; 2x quad-core i7 950 per node in the paper.
+    cores_per_node: int = 8
+    #: Sequential read rate per task, MB/s (TestDFSIO measurement).
+    disk_read_mb_s: float = 74.26
+    #: Sequential write rate per task, MB/s (TestDFSIO measurement).
+    disk_write_mb_s: float = 14.69
+    #: Effective per-stream network rate over the 10 GbE switch, MB/s.
+    network_mb_s: float = 110.0
+    #: Fixed per-job start-up latency (JVM spawn, scheduling), seconds.
+    job_startup_s: float = 6.0
+    #: Per-record CPU cost in map/reduce user code, seconds.
+    cpu_per_record_s: float = 3.0e-7
+    #: CPU cost of one theta-comparison in a reduce-side join, seconds.
+    cpu_per_comparison_s: float = 6.0e-8
+    #: Overhead of one shuffle connection served by a map task, seconds.
+    connection_overhead_s: float = 0.012
+    #: Multiplicative noise sigma applied to simulated phase times (0 = exact).
+    noise_sigma: float = 0.0
+
+    hadoop: HadoopParameters = field(default_factory=HadoopParameters)
+
+    @property
+    def total_units(self) -> int:
+        """Total processing units kP available to run Map or Reduce tasks."""
+        return self.worker_nodes * self.cores_per_node
+
+    @property
+    def disk_read_bytes_s(self) -> float:
+        return self.disk_read_mb_s * MB
+
+    @property
+    def disk_write_bytes_s(self) -> float:
+        return self.disk_write_mb_s * MB
+
+    @property
+    def network_bytes_s(self) -> float:
+        return self.network_mb_s * MB
+
+    def with_units(self, units: int) -> "ClusterConfig":
+        """A copy of this config reshaped to expose exactly ``units`` slots.
+
+        Used by the experiments that cap kP (e.g. kP <= 64 in Figures 10
+        and 13): the hardware rates stay identical, only the degree of
+        parallelism changes.
+        """
+        if units < 1:
+            raise ValueError("units must be >= 1")
+        per_node = max(1, min(self.cores_per_node, units))
+        nodes = max(1, -(-units // per_node))
+        config = replace(self, worker_nodes=nodes, cores_per_node=per_node)
+        # Trim any rounding overshoot by reducing per-node cores if needed.
+        while config.total_units > units and config.cores_per_node > 1:
+            config = replace(config, cores_per_node=config.cores_per_node - 1)
+        return config
+
+    def with_noise(self, sigma: float) -> "ClusterConfig":
+        return replace(self, noise_sigma=sigma)
+
+
+#: The paper's test bed: 12 workers x 8 cores = 96 processing units.
+PAPER_CLUSTER = ClusterConfig()
+
+#: The constrained configuration used in Figures 10 and 13 (kP <= 64).
+PAPER_CLUSTER_KP64 = PAPER_CLUSTER.with_units(64)

@@ -1,0 +1,265 @@
+"""The simulated MapReduce runtime.
+
+Jobs are *really executed* — mappers and reducers run over the actual
+records, so join answers are exact — while time is charged according to
+the phase structure of the paper's Figure 3:
+
+* Map tasks run in rounds of ``m'`` parallel tasks over ``m`` blocks;
+  each task pays sequential read plus spill-write proportional to its
+  output (Equation 1).
+* The copy (shuffle) phase pays network transfer plus a per-connection
+  overhead ``q * n`` for serving ``n`` reduce tasks (Equation 3), and
+  overlaps with mapping per Equation 6.
+* The reduce phase is dominated by the most loaded reduce task
+  (Equation 5); reduce work includes merge I/O, the user-code comparison
+  count charged by join reducers, and writing the output.
+
+With ``noise_sigma == 0`` the runtime is deterministic; benchmarks that
+need "measured" times distinct from model estimates use a small sigma.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.mapreduce.config import ClusterConfig
+from repro.mapreduce.counters import JobMetrics
+from repro.mapreduce.hdfs import DistributedFile, SimulatedHDFS
+from repro.mapreduce.job import (
+    JobResult,
+    MapReduceJobSpec,
+    TaskContext,
+    estimate_width,
+)
+from repro.utils import ceil_div, make_rng
+
+
+class SimulatedCluster:
+    """Executes MapReduce jobs over a :class:`SimulatedHDFS` with timing."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        self.hdfs = SimulatedHDFS(self.config)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run_job(
+        self,
+        spec: MapReduceJobSpec,
+        map_units: Optional[int] = None,
+        reduce_units: Optional[int] = None,
+    ) -> JobResult:
+        """Execute ``spec``; returns output file + metrics.
+
+        ``map_units`` / ``reduce_units`` bound the parallel task slots the
+        job may use, defaulting to the full cluster.  The scheduler passes
+        smaller values when several jobs share the cluster.
+        """
+        units = self.config.total_units
+        map_units = units if map_units is None else map_units
+        reduce_units = units if reduce_units is None else reduce_units
+        if map_units < 1 or reduce_units < 1:
+            raise ExecutionError(f"job {spec.name!r}: units must be >= 1")
+        map_units = min(units, map_units)
+        reduce_units = min(units, reduce_units)
+        if spec.num_reducers > units:
+            raise ExecutionError(
+                f"job {spec.name!r}: {spec.num_reducers} reducers exceed the "
+                f"cluster's {units} processing units"
+            )
+
+        metrics = JobMetrics(job_name=spec.name)
+        metrics.input_bytes = spec.input_bytes
+        metrics.input_records = spec.input_records
+        metrics.num_reduce_tasks = spec.num_reducers
+
+        buckets, map_ctx = self._run_map_phase(spec, metrics)
+        output_records, reducer_costs = self._run_reduce_phase(spec, buckets, metrics)
+        self._charge_time(spec, metrics, map_units, reduce_units, reducer_costs)
+
+        output = DistributedFile(
+            name=spec.output_name,
+            records=output_records,
+            record_width=spec.output_record_width,
+            tag=spec.output_name,
+        )
+        self.hdfs.put(output)
+        metrics.output_records = len(output_records)
+        metrics.output_bytes = output.size_bytes * spec.output_replication
+        return JobResult(output=output, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+
+    def _run_map_phase(
+        self, spec: MapReduceJobSpec, metrics: JobMetrics
+    ) -> Tuple[List[Dict[object, List[object]]], TaskContext]:
+        """Run all mappers, bucket pairs per reducer; fills size counters."""
+        block = self.config.hadoop.fs_block_size
+        metrics.num_map_tasks = sum(f.blocks(block) for f in spec.inputs)
+        if metrics.num_map_tasks == 0:
+            raise ExecutionError(f"job {spec.name!r}: all inputs are empty")
+
+        buckets: List[Dict[object, List[object]]] = [
+            {} for _ in range(spec.num_reducers)
+        ]
+        ctx = TaskContext()
+        pair_bytes = 0
+        pair_count = 0
+        for file in spec.inputs:
+            for position, record in enumerate(file.records):
+                ctx.record_index = position
+                for key, value in spec.mapper(file.tag, record, ctx):
+                    index = spec.partitioner(key, spec.num_reducers)
+                    if not 0 <= index < spec.num_reducers:
+                        raise ExecutionError(
+                            f"job {spec.name!r}: partitioner returned {index} "
+                            f"outside [0, {spec.num_reducers})"
+                        )
+                    buckets[index].setdefault(key, []).append(value)
+                    pair_count += 1
+                    if spec.pair_width:
+                        pair_bytes += spec.pair_width
+                    elif spec.pair_width_fn is not None:
+                        pair_bytes += 12 + spec.pair_width_fn(value)
+                    else:
+                        pair_bytes += 12 + estimate_width(value)
+        metrics.map_output_records = pair_count
+        metrics.map_output_bytes = pair_bytes
+        metrics.shuffle_bytes = pair_bytes
+        return buckets, ctx
+
+    def _run_reduce_phase(
+        self,
+        spec: MapReduceJobSpec,
+        buckets: List[Dict[object, List[object]]],
+        metrics: JobMetrics,
+    ) -> Tuple[List[object], List[float]]:
+        """Run reducers; returns output records and per-reducer cost seconds."""
+        output_records: List[object] = []
+        reducer_costs: List[float] = []
+        config = self.config
+        for bucket in buckets:
+            ctx = TaskContext()
+            input_bytes = 0
+            input_values = 0
+            produced = 0
+            for key, values in bucket.items():
+                if spec.pair_width:
+                    input_bytes += spec.pair_width * len(values)
+                elif spec.pair_width_fn is not None:
+                    input_bytes += sum(12 + spec.pair_width_fn(v) for v in values)
+                else:
+                    input_bytes += sum(12 + estimate_width(v) for v in values)
+                input_values += len(values)
+                for record in spec.reducer(key, values, ctx):
+                    output_records.append(record)
+                    produced += 1
+            metrics.reducer_input_bytes.append(input_bytes)
+            metrics.reduce_comparisons += ctx.comparisons
+            # Merge-sort I/O on the reducer's input, user CPU, output write.
+            merge_passes = self._merge_passes(input_bytes)
+            io_time = input_bytes * merge_passes * (
+                1.0 / config.disk_read_bytes_s + 1.0 / config.disk_write_bytes_s
+            )
+            cpu_time = (
+                input_values * config.cpu_per_record_s
+                + ctx.comparisons * config.cpu_per_comparison_s
+            )
+            write_time = (
+                produced
+                * spec.output_record_width
+                * spec.output_replication
+                / config.disk_write_bytes_s
+            )
+            reducer_costs.append(io_time + cpu_time + write_time)
+        return output_records, reducer_costs
+
+    def _merge_passes(self, input_bytes: int) -> float:
+        """How many times reduce input is re-read/written during merge sort."""
+        sort_bytes = self.config.hadoop.io_sort_bytes
+        if input_bytes <= sort_bytes:
+            return 1.0
+        # Each factor-of-io.sort.factor growth adds one merge pass.
+        extra = math.log(input_bytes / sort_bytes, self.config.hadoop.io_sort_factor)
+        return 1.0 + max(0.0, extra)
+
+    # ------------------------------------------------------------------
+    # timing (Figure 3 / Equations 1-6)
+    # ------------------------------------------------------------------
+
+    def _charge_time(
+        self,
+        spec: MapReduceJobSpec,
+        metrics: JobMetrics,
+        map_units: int,
+        reduce_units: int,
+        reducer_costs: List[float],
+    ) -> None:
+        config = self.config
+        m = metrics.num_map_tasks
+        n = spec.num_reducers
+        rounds = ceil_div(m, max(1, map_units))
+        metrics.map_rounds = rounds
+        metrics.reduce_rounds = ceil_div(n, max(1, reduce_units))
+
+        input_per_task = metrics.input_bytes / m
+        output_per_task = metrics.map_output_bytes / m
+        records_per_task = metrics.input_records / m
+
+        # Equation 1: sequential read plus spill writes.
+        spill_passes = self._spill_passes(output_per_task)
+        t_map = (
+            input_per_task / config.disk_read_bytes_s
+            + output_per_task * spill_passes / config.disk_write_bytes_s
+            + records_per_task * config.cpu_per_record_s
+        )
+        j_map = rounds * t_map
+
+        # Equation 3: copying one map task's output to n reducers.
+        t_copy = (
+            output_per_task / config.network_bytes_s
+            + config.connection_overhead_s * n
+        )
+        j_copy = rounds * t_copy
+
+        # Equation 5 via real per-reducer costs; the slowest schedule of
+        # the reduce tasks over the allotted units bounds JR.
+        if reducer_costs:
+            j_reduce = max(
+                sum(reducer_costs) / max(1, reduce_units), max(reducer_costs)
+            )
+        else:
+            j_reduce = 0.0
+
+        # Equation 6: map and copy overlap; the longer stream dominates.
+        if t_map >= t_copy:
+            body = j_map + t_copy + j_reduce
+        else:
+            body = t_map + j_copy + j_reduce
+
+        noise = self._noise_factor(spec.name)
+        metrics.map_time_s = j_map * noise
+        metrics.copy_time_s = j_copy * noise
+        metrics.reduce_time_s = j_reduce * noise
+        metrics.startup_time_s = config.job_startup_s
+        metrics.total_time_s = (body * noise) + config.job_startup_s
+
+    def _spill_passes(self, map_output_per_task: float) -> float:
+        """Spill amplification: the paper's random variable p grows with output."""
+        threshold = self.config.hadoop.spill_threshold_bytes
+        if map_output_per_task <= threshold:
+            return 1.0
+        return 1.0 + 0.35 * math.log2(map_output_per_task / threshold)
+
+    def _noise_factor(self, job_name: str) -> float:
+        sigma = self.config.noise_sigma
+        if sigma <= 0:
+            return 1.0
+        rng = make_rng("runtime-noise", job_name, round(sigma, 6))
+        return math.exp(rng.gauss(0.0, sigma))

@@ -1,0 +1,57 @@
+"""Relational substrate: schemas, relations, theta predicates, queries, statistics."""
+
+from repro.relational.io import infer_schema, read_relation, write_relation
+from repro.relational.histogram import (
+    Bucket,
+    ClosedFormSelectivityEstimator,
+    Histogram,
+    equality_join_selectivity,
+    range_join_selectivity,
+)
+from repro.relational.predicates import (
+    AttrRef,
+    JoinCondition,
+    JoinPredicate,
+    ThetaOp,
+)
+from repro.relational.query import JoinQuery
+from repro.relational.relation import Relation, Row
+from repro.relational.sampling import SampledJoinEstimator
+from repro.relational.schema import Field, Schema
+from repro.relational.sql import parse_join_query
+from repro.relational.statistics import (
+    ColumnStats,
+    RelationStats,
+    SelectivityEstimator,
+    StatisticsCatalog,
+    compute_column_stats,
+    compute_relation_stats,
+)
+
+__all__ = [
+    "AttrRef",
+    "Bucket",
+    "ClosedFormSelectivityEstimator",
+    "ColumnStats",
+    "Field",
+    "Histogram",
+    "equality_join_selectivity",
+    "range_join_selectivity",
+    "JoinCondition",
+    "JoinPredicate",
+    "JoinQuery",
+    "Relation",
+    "RelationStats",
+    "Row",
+    "SampledJoinEstimator",
+    "Schema",
+    "SelectivityEstimator",
+    "StatisticsCatalog",
+    "ThetaOp",
+    "compute_column_stats",
+    "compute_relation_stats",
+    "infer_schema",
+    "parse_join_query",
+    "read_relation",
+    "write_relation",
+]

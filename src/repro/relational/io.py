@@ -1,0 +1,128 @@
+"""Loading and saving relations as delimited text (CSV/TSV).
+
+The substrate a downstream user needs to run the planner over *their*
+data: read a header-bearing delimited file into a :class:`Relation`
+(with schema inference or an explicit schema) and write results back.
+
+Type inference is per column over the whole file: ``int`` when every
+non-empty cell parses as an integer, ``float`` when every cell parses as
+a number, ``str`` otherwise.  Empty cells become ``None``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+
+PathLike = Union[str, Path]
+
+
+def _parse_cell(text: str, kind: str) -> object:
+    if text == "":
+        return None
+    if kind == "int":
+        return int(text)
+    if kind == "float":
+        return float(text)
+    return text
+
+
+def _infer_kind(values: Sequence[str]) -> str:
+    """The narrowest of int / float / str fitting every non-empty cell."""
+    kind = "int"
+    saw_value = False
+    for text in values:
+        if text == "":
+            continue
+        saw_value = True
+        if kind == "int":
+            try:
+                int(text)
+                continue
+            except ValueError:
+                kind = "float"
+        if kind == "float":
+            try:
+                float(text)
+                continue
+            except ValueError:
+                kind = "str"
+                break
+    return kind if saw_value else "str"
+
+
+def infer_schema(
+    header: Sequence[str], rows: Sequence[Sequence[str]]
+) -> Schema:
+    """Schema from a header row and raw string rows (whole-file inference)."""
+    if not header:
+        raise SchemaError("cannot infer a schema from an empty header")
+    fields: List[Field] = []
+    for index, name in enumerate(header):
+        column = [row[index] for row in rows]
+        fields.append(Field(name.strip(), _infer_kind(column)))
+    return Schema(fields)
+
+
+def read_relation(
+    path: PathLike,
+    name: Optional[str] = None,
+    schema: Optional[Schema] = None,
+    delimiter: str = ",",
+) -> Relation:
+    """Read a delimited file (header row required) into a relation.
+
+    With ``schema`` given, cells are parsed per its field kinds and the
+    header must match its field names; otherwise both are inferred.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: file is empty, expected a header row")
+        raw_rows = list(reader)
+
+    for row_number, row in enumerate(raw_rows, start=2):
+        if len(row) != len(header):
+            raise SchemaError(
+                f"{path}:{row_number}: expected {len(header)} cells, "
+                f"got {len(row)}"
+            )
+
+    if schema is None:
+        schema = infer_schema(header, raw_rows)
+    else:
+        names = [field.name for field in schema.fields]
+        if [h.strip() for h in header] != names:
+            raise SchemaError(
+                f"{path}: header {header} does not match schema fields {names}"
+            )
+
+    kinds = [field.kind for field in schema.fields]
+    relation = Relation(name or path.stem, schema)
+    for row in raw_rows:
+        relation.append(
+            tuple(_parse_cell(cell, kind) for cell, kind in zip(row, kinds))
+        )
+    return relation
+
+
+def write_relation(
+    relation: Relation, path: PathLike, delimiter: str = ","
+) -> Path:
+    """Write a relation (header + rows) as delimited text; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow([field.name for field in relation.schema.fields])
+        for row in relation.rows:
+            writer.writerow(["" if v is None else v for v in row])
+    return path

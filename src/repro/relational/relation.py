@@ -1,0 +1,134 @@
+"""In-memory relations (named tables of tuples) with byte-size accounting.
+
+A :class:`Relation` is the unit of data everything else operates on: the
+workload generators produce relations, the simulated HDFS stores their
+rows, and join operators consume them.  Rows are plain Python tuples in
+schema order, which keeps the simulator honest (it really moves the
+records around) while staying light enough for laptop-scale runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.utils import make_rng, reservoir_sample
+
+Row = Tuple[object, ...]
+
+
+class Relation:
+    """A named bag of rows conforming to a :class:`Schema`."""
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[Row] = ()) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._rows: List[Row] = [self._check_row(r) for r in rows]
+
+    def _check_row(self, row: Sequence[object]) -> Row:
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema arity "
+                f"{len(self.schema)} for relation {self.name!r}"
+            )
+        return tuple(row)
+
+    # -- basic container protocol ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, |R|={len(self)}, {self.schema!r})"
+
+    @property
+    def rows(self) -> List[Row]:
+        return self._rows
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._rows)
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size used for I/O accounting."""
+        return len(self._rows) * self.schema.row_width
+
+    # -- construction helpers ----------------------------------------------
+
+    def append(self, row: Sequence[object]) -> None:
+        self._rows.append(self._check_row(row))
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.append(row)
+
+    @classmethod
+    def from_rows(cls, name: str, schema: Schema, rows: Iterable[Row]) -> "Relation":
+        return cls(name, schema, rows)
+
+    def renamed(self, new_name: str) -> "Relation":
+        """Same rows and schema under a different relation name (cheap: shares rows)."""
+        clone = Relation(new_name, self.schema)
+        clone._rows = self._rows
+        return clone
+
+    # -- column access --------------------------------------------------
+
+    def column(self, field_name: str) -> List[object]:
+        """All values of one column, in row order."""
+        idx = self.schema.index_of(field_name)
+        return [row[idx] for row in self._rows]
+
+    def value(self, row: Row, field_name: str) -> object:
+        return row[self.schema.index_of(field_name)]
+
+    # -- relational operators (eager, for small/test scale) ----------------
+
+    def select(self, predicate: Callable[[Row], bool], name: Optional[str] = None) -> "Relation":
+        out = Relation(name or f"{self.name}_sel", self.schema)
+        out._rows = [r for r in self._rows if predicate(r)]
+        return out
+
+    def project(self, names: Sequence[str], name: Optional[str] = None) -> "Relation":
+        indices = [self.schema.index_of(n) for n in names]
+        out = Relation(name or f"{self.name}_proj", self.schema.project(names))
+        out._rows = [tuple(row[i] for i in indices) for row in self._rows]
+        return out
+
+    def sorted_by(self, field_name: str, reverse: bool = False) -> "Relation":
+        idx = self.schema.index_of(field_name)
+        out = Relation(self.name, self.schema)
+        out._rows = sorted(self._rows, key=lambda r: r[idx], reverse=reverse)
+        return out
+
+    def distinct(self) -> "Relation":
+        out = Relation(self.name, self.schema)
+        seen = set()
+        for row in self._rows:
+            if row not in seen:
+                seen.add(row)
+                out._rows.append(row)
+        return out
+
+    def sample(self, k: int, rng: Optional[random.Random] = None) -> "Relation":
+        """Uniform sample without replacement of at most ``k`` rows."""
+        rng = rng or make_rng("relation-sample", self.name, k)
+        out = Relation(f"{self.name}_sample", self.schema)
+        out._rows = reservoir_sample(self._rows, min(k, len(self._rows)), rng)
+        return out
+
+    def head(self, k: int) -> "Relation":
+        out = Relation(self.name, self.schema)
+        out._rows = self._rows[:k]
+        return out

@@ -1,0 +1,133 @@
+"""A small SQL-ish front end for N-join queries.
+
+The paper presents its benchmark queries in a "SQL-like style"
+(Section 6.3.1); this module parses exactly that dialect into a
+:class:`JoinQuery`:
+
+    SELECT t3.id, t1.bt
+    FROM table t1, table t2, calls t3
+    WHERE t1.bt <= t2.bt AND t1.l >= t2.l AND t2.bsc = t3.bsc
+
+Supported: a comma-separated FROM list of ``relation alias`` pairs, a
+WHERE conjunction of theta predicates (``<, <=, =, >=, >, !=, <>`` with
+optional ``+ c`` / ``- c`` offsets), and a SELECT projection of
+``alias.attr`` items (or ``*``).  Predicates between the same relation
+pair are grouped into one theta condition (one join-graph edge), matching
+how the paper labels edges.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.relational.predicates import JoinCondition, JoinPredicate
+from repro.relational.query import JoinQuery
+from repro.relational.relation import Relation
+
+_SQL_SHAPE = re.compile(
+    r"^\s*select\s+(?P<select>.+?)\s+from\s+(?P<from>.+?)"
+    r"(?:\s+where\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def parse_join_query(
+    sql: str,
+    relations: Mapping[str, Relation],
+    name: str = "sql-query",
+) -> JoinQuery:
+    """Parse a SQL-ish string into a :class:`JoinQuery`.
+
+    ``relations`` maps relation *names* (as written in FROM) to
+    :class:`Relation` objects; aliases come from the FROM clause.
+    """
+    match = _SQL_SHAPE.match(sql)
+    if not match:
+        raise QueryError(
+            "query must look like SELECT ... FROM ... [WHERE ...]; "
+            f"got {sql[:80]!r}"
+        )
+    alias_map = _parse_from(match.group("from"), relations)
+    projection = _parse_select(match.group("select"), alias_map)
+    where = match.group("where")
+    if not where:
+        raise QueryError("an N-join query needs a WHERE clause with join predicates")
+    conditions = _parse_where(where, alias_map)
+    return JoinQuery(name, alias_map, conditions, projection=projection)
+
+
+def _parse_from(
+    text: str, relations: Mapping[str, Relation]
+) -> Dict[str, Relation]:
+    alias_map: Dict[str, Relation] = {}
+    for part in text.split(","):
+        tokens = part.split()
+        if len(tokens) == 2:
+            relation_name, alias = tokens
+        elif len(tokens) == 1:
+            relation_name = alias = tokens[0]
+        else:
+            raise QueryError(f"cannot parse FROM item {part.strip()!r}")
+        if relation_name not in relations:
+            raise QueryError(
+                f"unknown relation {relation_name!r}; have {sorted(relations)}"
+            )
+        if alias in alias_map:
+            raise QueryError(f"duplicate alias {alias!r} in FROM clause")
+        alias_map[alias] = relations[relation_name].renamed(relation_name)
+    if len(alias_map) < 2:
+        raise QueryError("FROM clause must list at least two relations")
+    return alias_map
+
+
+def _parse_select(
+    text: str, alias_map: Mapping[str, Relation]
+) -> Optional[List[Tuple[str, str]]]:
+    text = text.strip()
+    if text == "*":
+        return None
+    projection: List[Tuple[str, str]] = []
+    for item in text.split(","):
+        item = item.strip()
+        if "." not in item:
+            raise QueryError(f"SELECT items must be alias.attr, got {item!r}")
+        alias, attr = item.split(".", 1)
+        alias, attr = alias.strip(), attr.strip()
+        if alias not in alias_map:
+            raise QueryError(f"SELECT references unknown alias {alias!r}")
+        projection.append((alias, attr))
+    return projection
+
+
+def _parse_where(
+    text: str, alias_map: Mapping[str, Relation]
+) -> List[JoinCondition]:
+    # The paper writes conjunctions with AND or commas; accept both.
+    normalized = re.sub(r"\s+and\s+", ",", text, flags=re.IGNORECASE)
+    predicates = [
+        JoinPredicate.parse(piece)
+        for piece in (p.strip() for p in normalized.split(","))
+        if piece
+    ]
+    if not predicates:
+        raise QueryError("WHERE clause contains no predicates")
+    for predicate in predicates:
+        for ref in (predicate.left, predicate.right):
+            if ref.alias not in alias_map:
+                raise QueryError(
+                    f"predicate {predicate} references unknown alias {ref.alias!r}"
+                )
+    # Group predicates by relation pair: one theta edge per pair.
+    grouped: Dict[frozenset, List[JoinPredicate]] = {}
+    order: List[frozenset] = []
+    for predicate in predicates:
+        key = frozenset(predicate.aliases)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(predicate)
+    return [
+        JoinCondition(index + 1, grouped[key]) for index, key in enumerate(order)
+    ]

@@ -1,0 +1,17 @@
+"""Result rendering: text/markdown tables and ASCII charts.
+
+The benchmark harness regenerates every table and figure of the paper;
+this package renders those results for terminals and for EXPERIMENTS.md —
+grouped bar charts shaped like the paper's figures (Figs. 9-13), line
+charts for parameter sweeps (Figs. 6-8), and aligned tables (Tables 1-3).
+"""
+
+from repro.reporting.charts import bar_chart, line_chart, sparkline
+from repro.reporting.tables import ResultTable
+
+__all__ = [
+    "ResultTable",
+    "bar_chart",
+    "line_chart",
+    "sparkline",
+]

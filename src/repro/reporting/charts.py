@@ -1,0 +1,137 @@
+"""ASCII charts shaped like the paper's figures.
+
+Two chart families cover every figure in the evaluation:
+
+* :func:`bar_chart` — grouped horizontal bars, one group per category
+  (e.g. data volume) and one bar per series (ours / YSmart / Hive / Pig):
+  the shape of Figures 9, 10, 12, 13 and 11.
+* :func:`line_chart` — a y-over-x scatter grid for parameter sweeps:
+  Figures 6 (time vs kR), 7a (best kR vs output) and 8 (estimated vs
+  real).
+
+Everything is plain monospaced text so results render in terminals, CI
+logs, and markdown code fences alike.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: Characters used to distinguish series in charts, in assignment order.
+SERIES_MARKS = "#*o+x@%&"
+
+BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _scale(value: float, maximum: float, width: int) -> int:
+    if maximum <= 0:
+        return 0
+    return max(0, min(width, round(width * value / maximum)))
+
+
+def bar_chart(
+    title: str,
+    categories: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bar chart.
+
+    ``series`` maps a series name (e.g. ``"ours"``) to one value per
+    category (e.g. per data volume).  Bars are scaled to the global
+    maximum so relative heights — the quantity the paper's figures
+    communicate — are comparable across groups.
+    """
+    if not categories:
+        raise ValueError("bar chart needs at least one category")
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+    peak = max((max(v) for v in series.values() if len(v)), default=0.0)
+    name_width = max(len(n) for n in series)
+    lines = [title]
+    for index, category in enumerate(categories):
+        lines.append(f"{category}:")
+        for name, values in series.items():
+            value = values[index]
+            bar = "#" * _scale(value, peak, width)
+            label = f"{value:g}{unit}"
+            lines.append(f"  {name.ljust(name_width)} |{bar} {label}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    title: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    log_x: bool = False,
+) -> str:
+    """A y-over-x character grid with one mark per series.
+
+    Points from each series are plotted with its mark (``#``, ``*``, ...);
+    colliding points show the mark of the later series.  Axis extremes are
+    annotated.  ``log_x`` spaces the x axis logarithmically, matching the
+    paper's log-scale sweep figures.
+    """
+    if not xs:
+        raise ValueError("line chart needs at least one x value")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for {len(xs)} xs"
+            )
+    if log_x and min(xs) <= 0:
+        raise ValueError("log_x requires positive x values")
+
+    def x_pos(x: float) -> float:
+        return math.log10(x) if log_x else x
+
+    x_lo, x_hi = min(map(x_pos, xs)), max(map(x_pos, xs))
+    all_ys = [y for values in series.values() for y in values]
+    y_lo, y_hi = min(all_ys), max(all_ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for mark, (name, values) in zip(SERIES_MARKS, series.items()):
+        for x, y in zip(xs, values):
+            column = _scale(x_pos(x) - x_lo, x_span, width - 1)
+            row = height - 1 - _scale(y - y_lo, y_span, height - 1)
+            grid[row][column] = mark
+
+    lines = [title]
+    legend = "   ".join(
+        f"{mark}={name}" for mark, name in zip(SERIES_MARKS, series)
+    )
+    lines.append(legend)
+    for row_index, row in enumerate(grid):
+        label = ""
+        if row_index == 0:
+            label = f"{y_hi:g}"
+        elif row_index == height - 1:
+            label = f"{y_lo:g}"
+        lines.append(f"{label:>10} |" + "".join(row))
+    x_left = f"{xs[0]:g}"
+    x_right = f"{xs[-1]:g}"
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12 + x_left + " " * max(1, width - len(x_left) - len(x_right)) + x_right
+    )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line block-character trend, e.g. for quick table cells."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    top = len(BLOCKS) - 2  # indices 1..8 (space is reserved for "no data")
+    return "".join(BLOCKS[1 + round((v - lo) / span * top)] for v in values)

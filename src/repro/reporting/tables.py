@@ -1,0 +1,85 @@
+"""Aligned text and markdown tables for benchmark results."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+
+def _cell(value: object) -> str:
+    """Compact cell formatting: 3 significant digits below 100."""
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+class ResultTable:
+    """A titled result table renderable as aligned text or markdown.
+
+    >>> table = ResultTable("Demo", ["x", "y"])
+    >>> table.add(1, 2.5)
+    >>> print(table.render())        # doctest: +SKIP
+    >>> print(table.render_markdown())  # doctest: +SKIP
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[object]] = []
+
+    def add(self, *values: object) -> None:
+        """Append one row; arity must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r}; have {self.columns}") from None
+        return [row[index] for row in self.rows]
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        """Aligned plain-text rendering (title, header, dashes, rows)."""
+        widths = [len(c) for c in self.columns]
+        rendered_rows = []
+        for row in self.rows:
+            rendered = [_cell(v) for v in row]
+            widths = [max(w, len(r)) for w, r in zip(widths, rendered)]
+            rendered_rows.append(rendered)
+        lines = [self.title]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for rendered in rendered_rows:
+            lines.append("  ".join(r.ljust(w) for r, w in zip(rendered, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering with a bold title line."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_cell(v) for v in row) + " |")
+        return "\n".join(lines)
+
+    def save(self, path: Path, markdown: bool = False) -> str:
+        """Write the rendering to ``path`` and return it."""
+        text = self.render_markdown() if markdown else self.render()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n", encoding="utf-8")
+        return text

@@ -1,0 +1,59 @@
+"""Workload generators: mobile CDR, mini TPC-H, flights, synthetic probes."""
+
+from repro.workloads.flights import (
+    DEFAULT_STAYOVER,
+    StayOver,
+    flight_schema,
+    generate_flight_leg,
+    stayover_condition,
+    travel_plan_query,
+)
+from repro.workloads.mobile import (
+    MOBILE_QUERY_IDS,
+    generate_mobile_calls,
+    make_mobile_query,
+    mobile_benchmark_query,
+    mobile_query_features,
+    mobile_schema,
+)
+from repro.workloads.synthetic import (
+    chain_query,
+    controllable_selfjoin_query,
+    skewed_equijoin_query,
+    uniform_relation,
+    zipf_relation,
+)
+from repro.workloads.tpch import (
+    TPCH_EXTENDED_QUERY_IDS,
+    TPCH_QUERY_IDS,
+    TPCHDatabase,
+    make_tpch_query,
+    tpch_benchmark_query,
+    tpch_query_features,
+)
+
+__all__ = [
+    "DEFAULT_STAYOVER",
+    "MOBILE_QUERY_IDS",
+    "StayOver",
+    "TPCHDatabase",
+    "TPCH_EXTENDED_QUERY_IDS",
+    "TPCH_QUERY_IDS",
+    "chain_query",
+    "flight_schema",
+    "generate_flight_leg",
+    "stayover_condition",
+    "travel_plan_query",
+    "controllable_selfjoin_query",
+    "generate_mobile_calls",
+    "make_mobile_query",
+    "make_tpch_query",
+    "mobile_benchmark_query",
+    "mobile_query_features",
+    "mobile_schema",
+    "skewed_equijoin_query",
+    "tpch_benchmark_query",
+    "tpch_query_features",
+    "uniform_relation",
+    "zipf_relation",
+]

@@ -1,0 +1,193 @@
+"""Synthetic relation generators for tests, calibration, and micro-benches.
+
+Includes the "output controllable self-join program" of Section 6.2: a
+relation whose self-join selectivity (hence map output ratio and reducer
+load) can be dialled precisely, used to fit the cost model's p and q
+random variables and to validate the model (Figures 7b and 8).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import QueryError
+from repro.relational.predicates import JoinCondition
+from repro.relational.query import JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Field, Schema
+from repro.utils import make_rng
+
+
+def uniform_relation(
+    name: str,
+    rows: int,
+    value_range: int = 1000,
+    columns: int = 2,
+    seed: int = 0,
+    bytes_per_row: int = 0,
+) -> Relation:
+    """Rows of uniform integers: ``(id, v0, v1, ...)``."""
+    if rows < 1 or columns < 1:
+        raise QueryError("rows and columns must be >= 1")
+    rng = make_rng("uniform", name, rows, seed)
+    fields = [Field("id", "int")] + [Field(f"v{i}", "int") for i in range(columns)]
+    if bytes_per_row > 8:
+        share = (bytes_per_row - 8) // len(fields)
+        fields = [Field(f.name, f.kind, max(1, share)) for f in fields]
+    relation = Relation(name, Schema(fields))
+    for index in range(rows):
+        relation.append(
+            tuple([index] + [rng.randint(0, value_range - 1) for _ in range(columns)])
+        )
+    return relation
+
+
+def controllable_selfjoin_query(
+    rows: int,
+    selectivity: float,
+    seed: int = 0,
+    bytes_per_row: int = 0,
+    name: str = "selfjoin",
+) -> JoinQuery:
+    """A pair-wise self-theta-join whose output size is dialled by ``selectivity``.
+
+    Values are uniform in ``[0, 1_000_000)`` and the condition is
+    ``a.v < b.v + delta`` with delta chosen so the expected match fraction
+    equals ``selectivity``: for uniform u, v, ``P[u < v + d]`` is a known
+    quadratic in ``d`` that we invert.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise QueryError(f"selectivity must be in (0, 1], got {selectivity}")
+    value_range = 1_000_000
+    # P[u < v + d] for u, v ~ U[0, R), d in [-R, R]:
+    #   d >= 0:  1 - (R - d)^2 / (2 R^2)
+    #   d <  0:  (R + d)^2 / (2 R^2)
+    if selectivity >= 0.5:
+        delta = value_range * (1.0 - (2.0 * (1.0 - selectivity)) ** 0.5)
+    else:
+        delta = value_range * ((2.0 * selectivity) ** 0.5 - 1.0)
+    relation = uniform_relation(
+        name, rows, value_range=value_range, columns=1, seed=seed,
+        bytes_per_row=bytes_per_row,
+    )
+    condition = JoinCondition.parse(1, f"a.v0 < b.v0 + {delta:.1f}")
+    return JoinQuery(
+        f"{name}-{selectivity:g}",
+        {"a": relation, "b": relation.renamed(relation.name)},
+        [condition],
+    )
+
+
+def zipf_relation(
+    name: str,
+    rows: int,
+    distinct: int = 100,
+    skew: float = 1.0,
+    seed: int = 0,
+    bytes_per_row: int = 0,
+) -> Relation:
+    """Rows ``(id, k, v)`` whose key ``k`` follows a Zipf(s=skew) law.
+
+    ``skew = 0`` degenerates to uniform keys; larger values concentrate
+    mass on a few "popular" keys — the join-attribute hot spots Section
+    2.1 identifies as the MapReduce model's weak point.  ``v`` stays
+    uniform for residual range predicates.
+    """
+    if rows < 1 or distinct < 1:
+        raise QueryError("rows and distinct must be >= 1")
+    if skew < 0:
+        raise QueryError("skew must be >= 0")
+    rng = make_rng("zipf", name, rows, distinct, round(skew, 6), seed)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(distinct)]
+    total = sum(weights)
+    cdf: list = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cdf.append(acc)
+
+    def sample_key() -> int:
+        u = rng.random()
+        lo, hi = 0, len(cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    fields = [Field("id", "int"), Field("k", "int"), Field("v", "int")]
+    if bytes_per_row > 8:
+        share = (bytes_per_row - 8) // len(fields)
+        fields = [Field(f.name, f.kind, max(1, share)) for f in fields]
+    relation = Relation(name, Schema(fields))
+    for index in range(rows):
+        relation.append((index, sample_key(), rng.randint(0, 9999)))
+    return relation
+
+
+def skewed_equijoin_query(
+    rows: int,
+    skew: float = 1.0,
+    distinct: int = 100,
+    seed: int = 0,
+    bytes_per_row: int = 0,
+    name: str = "skewjoin",
+) -> JoinQuery:
+    """A pair-wise join on a Zipf-skewed key with a residual range filter.
+
+    The query shape that hot-spots hash partitioning: the equality on
+    ``k`` concentrates the popular key's pairs on one reducer, while the
+    hypercube partition of Algorithm 1 spreads the same work evenly —
+    the contrast measured by the skew ablation benchmark.
+    """
+    left = zipf_relation(
+        f"{name}-L", rows, distinct=distinct, skew=skew, seed=seed,
+        bytes_per_row=bytes_per_row,
+    )
+    right = zipf_relation(
+        f"{name}-R", rows, distinct=distinct, skew=skew, seed=seed + 1,
+        bytes_per_row=bytes_per_row,
+    )
+    condition = JoinCondition.parse(1, "a.k = b.k", "a.v <= b.v")
+    return JoinQuery(
+        f"{name}-s{skew:g}", {"a": left, "b": right}, [condition]
+    )
+
+
+def chain_query(
+    num_relations: int,
+    rows: int,
+    selectivity: float = 0.3,
+    seed: int = 0,
+    bytes_per_row: int = 0,
+) -> JoinQuery:
+    """A chain theta-join R1 < R2 < ... < Rm with per-edge window predicates.
+
+    Each edge carries a two-sided window whose width is tuned to the
+    requested per-edge selectivity, keeping multi-way intermediates
+    bounded (the shape of the paper's travel-planning example).
+    """
+    if num_relations < 2:
+        raise QueryError("need at least two relations for a chain")
+    value_range = 10_000
+    window = max(1, int(value_range * selectivity))
+    relations = {}
+    conditions = []
+    for index in range(num_relations):
+        alias = f"r{index + 1}"
+        relations[alias] = uniform_relation(
+            f"R{index + 1}", rows, value_range=value_range,
+            columns=1, seed=seed + index, bytes_per_row=bytes_per_row,
+        )
+    for index in range(1, num_relations):
+        left, right = f"r{index}", f"r{index + 1}"
+        conditions.append(
+            JoinCondition.parse(
+                index,
+                f"{left}.v0 <= {right}.v0",
+                f"{right}.v0 < {left}.v0 + {window}",
+            )
+        )
+    return JoinQuery(f"chain{num_relations}", relations, conditions)

@@ -1,0 +1,151 @@
+"""Tests for the cascade baselines (Hive / Pig / YSmart planning)."""
+
+import pytest
+
+from repro.baselines import HivePlanner, PigPlanner, YSmartPlanner
+from repro.baselines.cascade import has_usable_equi_key, written_alias_order
+from repro.core.plan import (
+    STRATEGY_EQUI,
+    STRATEGY_EQUICHAIN,
+    STRATEGY_ONEBUCKET,
+    STRATEGY_RANDOMCUBE,
+)
+from repro.mapreduce.config import ClusterConfig
+from repro.relational.predicates import JoinCondition
+from repro.relational.query import JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.utils import make_rng
+
+
+def rel(name, rows=20, seed=0):
+    rng = make_rng("cascade-test", name, seed)
+    return Relation(
+        name,
+        Schema.of("id:int", "v:int", "g:int"),
+        [(i, rng.randint(0, 40), rng.randint(0, 4)) for i in range(rows)],
+    )
+
+
+@pytest.fixture
+def mixed_query():
+    """theta edge first in written order; equality edges later."""
+    return JoinQuery(
+        "mixed",
+        {"t": rel("T"), "u": rel("U", seed=1), "w": rel("W", seed=2)},
+        [
+            JoinCondition.parse(1, "t.v < u.v"),
+            JoinCondition.parse(2, "u.g = w.g"),
+        ],
+    )
+
+
+class TestAliasOrder:
+    def test_equality_joins_ordered_first(self, mixed_query):
+        order = written_alias_order(mixed_query)
+        # u-w is the equality edge; the theta-only relation t comes last.
+        assert order.index("t") == 2
+
+    def test_order_always_connects(self, mixed_query):
+        order = written_alias_order(mixed_query)
+        for i in range(1, len(order)):
+            bound = set(order[:i])
+            assert any(
+                c.touches(order[i]) and c.other_alias(order[i]) in bound
+                for c in mixed_query.conditions
+            )
+
+    def test_key_continuity_groups_same_key_steps(self):
+        query = JoinQuery(
+            "chainkeys",
+            {
+                "o": rel("O"),
+                "l1": rel("L1", seed=1),
+                "l2": rel("L2", seed=2),
+                "c": rel("CU", seed=3),
+            },
+            [
+                JoinCondition.parse(1, "c.g = o.g"),
+                JoinCondition.parse(2, "o.id = l1.id"),
+                JoinCondition.parse(3, "l1.id = l2.id"),
+            ],
+        )
+        order = written_alias_order(query, key_continuity=True)
+        # After l1 binds via o.id, l2 (same key class) must follow directly.
+        assert order.index("l2") == order.index("l1") + 1
+
+
+class TestHasUsableEquiKey:
+    def test_detects_plain_equality(self):
+        assert has_usable_equi_key([JoinCondition.parse(1, "a.g = b.g")])
+
+    def test_offset_equality_unusable(self):
+        assert not has_usable_equi_key([JoinCondition.parse(1, "a.g + 1 = b.g")])
+
+    def test_inequalities_unusable(self):
+        assert not has_usable_equi_key([JoinCondition.parse(1, "a.v < b.v")])
+
+
+class TestPlanShapes:
+    def test_hive_theta_step_is_randomcube(self, mixed_query):
+        plan = HivePlanner(ClusterConfig()).plan(mixed_query)
+        strategies = {job.strategy for job in plan.jobs}
+        assert STRATEGY_RANDOMCUBE in strategies
+        assert STRATEGY_EQUI in strategies
+
+    def test_ysmart_theta_step_is_onebucket(self, mixed_query):
+        plan = YSmartPlanner(ClusterConfig()).plan(mixed_query)
+        assert STRATEGY_ONEBUCKET in {job.strategy for job in plan.jobs}
+
+    def test_pig_materialisation_overheads(self, mixed_query):
+        plan = PigPlanner(ClusterConfig()).plan(mixed_query)
+        intermediates = [j for j in plan.jobs if j is not plan.jobs[-1]]
+        assert all(j.output_replication == 3 for j in intermediates)
+        assert plan.jobs[-1].output_replication == 1  # final result
+        assert all(j.extra_startup_s > 0 for j in plan.jobs)
+
+    def test_cascade_is_sequential(self, mixed_query):
+        plan = HivePlanner(ClusterConfig()).plan(mixed_query)
+        for previous, job in zip(plan.jobs, plan.jobs[1:]):
+            assert previous.job_id in job.depends_on
+
+    def test_all_conditions_covered(self, mixed_query):
+        for planner_cls in (HivePlanner, PigPlanner, YSmartPlanner):
+            plan = planner_cls(ClusterConfig()).plan(mixed_query)
+            assert plan.covered_condition_ids() == frozenset(
+                mixed_query.condition_ids
+            )
+
+    def test_max_reducers_requested(self, mixed_query):
+        config = ClusterConfig()
+        plan = HivePlanner(config).plan(mixed_query)
+        assert all(j.num_reducers == config.total_units for j in plan.jobs)
+
+
+class TestYSmartMerging:
+    def test_transit_correlated_steps_merged(self):
+        """Two cascade steps keyed on the same attribute collapse into one
+        equichain job (Q18's orders/lineitem/lineitem pattern)."""
+        query = JoinQuery(
+            "transit",
+            {
+                "c": rel("C2"),
+                "o": rel("O2", seed=1),
+                "l1": rel("LA", seed=2),
+                "l2": rel("LB", seed=3),
+            },
+            [
+                JoinCondition.parse(1, "c.g = o.g"),
+                JoinCondition.parse(2, "o.id = l1.id"),
+                JoinCondition.parse(3, "l1.id = l2.id", "l1.v >= l2.v"),
+            ],
+        )
+        hive = HivePlanner(ClusterConfig()).plan(query)
+        ysmart = YSmartPlanner(ClusterConfig()).plan(query)
+        assert ysmart.num_jobs < hive.num_jobs
+        assert STRATEGY_EQUICHAIN in {j.strategy for j in ysmart.jobs}
+
+    def test_uncorrelated_steps_not_merged(self, mixed_query):
+        ysmart = YSmartPlanner(ClusterConfig()).plan(mixed_query)
+        hive = HivePlanner(ClusterConfig()).plan(mixed_query)
+        assert ysmart.num_jobs == hive.num_jobs

@@ -1,0 +1,72 @@
+"""Tests for cost-model calibration from probe jobs (Section 6.2)."""
+
+import pytest
+
+from repro.core.calibration import (
+    calibrate,
+    collect_probes,
+    fit_parameters,
+    run_self_join_probe,
+)
+from repro.core.cost_model import CostModelParameters
+from repro.errors import PlanningError
+from repro.mapreduce.config import ClusterConfig
+from repro.mapreduce.runtime import SimulatedCluster
+
+
+@pytest.fixture(scope="module")
+def result():
+    cluster = SimulatedCluster(ClusterConfig().with_noise(0.04))
+    return calibrate(cluster, row_counts=(30, 60), reducer_counts=(2, 8, 24))
+
+
+class TestCalibration:
+    def test_recovers_network_rate(self, result):
+        truth = CostModelParameters.from_config(ClusterConfig())
+        assert result.params.network_s_per_byte == pytest.approx(
+            truth.network_s_per_byte, rel=0.25
+        )
+
+    def test_recovers_connection_overhead_q(self, result):
+        truth = CostModelParameters.from_config(ClusterConfig())
+        assert result.params.connection_s == pytest.approx(
+            truth.connection_s, rel=0.3
+        )
+
+    def test_recovers_write_rate(self, result):
+        truth = CostModelParameters.from_config(ClusterConfig())
+        assert result.params.write_s_per_byte == pytest.approx(
+            truth.write_s_per_byte, rel=0.3
+        )
+
+    def test_p_samples_monotone_in_output(self, result):
+        """Figure 7b: the spill variable p grows with map output volume."""
+        xs = [x for x, _ in result.p_samples]
+        ps = [p for _, p in result.p_samples]
+        assert xs == sorted(xs)
+        assert ps[-1] >= ps[0]
+
+    def test_q_samples_present(self, result):
+        assert result.q_samples
+        assert all(q > 0 for _, q in result.q_samples)
+
+    def test_needs_enough_observations(self):
+        base = CostModelParameters.from_config(ClusterConfig())
+        with pytest.raises(PlanningError):
+            fit_parameters([], base)
+
+
+class TestProbes:
+    def test_self_join_probe_runs(self):
+        cluster = SimulatedCluster(ClusterConfig())
+        metrics = run_self_join_probe(cluster, rows=24, num_reducers=4)
+        assert metrics.output_records > 0
+        assert metrics.num_reduce_tasks == 4
+
+    def test_collect_probes_sweeps(self):
+        cluster = SimulatedCluster(ClusterConfig())
+        observations = collect_probes(
+            cluster, row_counts=(20,), reducer_counts=(2, 4), duplications=(1,)
+        )
+        assert len(observations) == 2
+        assert {o.num_reducers for o in observations} == {2, 4}

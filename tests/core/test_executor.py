@@ -1,0 +1,151 @@
+"""Tests for plan execution: correctness, dependencies, merges, timing."""
+
+import pytest
+
+from repro.baselines import HivePlanner, PigPlanner, YSmartPlanner
+from repro.core.executor import PlanExecutor, _hash_merge
+from repro.core.plan import ExecutionPlan, InputRef, PlannedJob
+from repro.core.planner import ThetaJoinPlanner
+from repro.errors import ExecutionError
+from repro.joins.records import merge_composites, singleton
+from repro.joins.reference import join_result_signature, reference_join
+from repro.mapreduce.config import ClusterConfig
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.relational.predicates import JoinCondition
+from repro.relational.query import JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def execute(planner_cls, query, config=None):
+    config = config or ClusterConfig()
+    plan = planner_cls(config).plan(query)
+    return plan, PlanExecutor(SimulatedCluster(config)).execute(plan, query)
+
+
+class TestEndToEndCorrectness:
+    @pytest.mark.parametrize(
+        "planner_cls", [ThetaJoinPlanner, HivePlanner, PigPlanner, YSmartPlanner]
+    )
+    def test_three_way(self, planner_cls, three_way_query):
+        reference = join_result_signature(reference_join(three_way_query))
+        _, outcome = execute(planner_cls, three_way_query)
+        assert join_result_signature(outcome.composites) == reference
+
+    @pytest.mark.parametrize(
+        "planner_cls", [ThetaJoinPlanner, HivePlanner, PigPlanner, YSmartPlanner]
+    )
+    def test_triangle_with_pendant(self, planner_cls, triangle_query):
+        reference = join_result_signature(reference_join(triangle_query))
+        _, outcome = execute(planner_cls, triangle_query)
+        assert join_result_signature(outcome.composites) == reference
+
+    @pytest.mark.parametrize(
+        "planner_cls", [ThetaJoinPlanner, HivePlanner, YSmartPlanner]
+    )
+    def test_small_cluster(self, planner_cls, three_way_query, small_config):
+        reference = join_result_signature(reference_join(three_way_query))
+        _, outcome = execute(planner_cls, three_way_query, small_config)
+        assert join_result_signature(outcome.composites) == reference
+
+    def test_projection_applied(self, three_way_query):
+        query = JoinQuery(
+            three_way_query.name,
+            three_way_query.relations,
+            three_way_query.conditions,
+            projection=[("a", "id")],
+        )
+        _, outcome = execute(ThetaJoinPlanner, query)
+        assert outcome.result.schema.names == ("a_id",)
+
+    def test_empty_join_result(self):
+        schema = Schema.of("id:int", "v:int")
+        low = Relation("LOW", schema, [(i, i) for i in range(10)])
+        high = Relation("HIGH", schema, [(i, i + 100) for i in range(10)])
+        query = JoinQuery(
+            "empty", {"a": low, "b": high}, [JoinCondition.parse(1, "a.v > b.v")]
+        )
+        for planner_cls in (ThetaJoinPlanner, HivePlanner, YSmartPlanner):
+            _, outcome = execute(planner_cls, query)
+            assert outcome.report.output_records == 0
+
+    def test_empty_intermediate_in_cascade(self):
+        """A cascade step with zero matches must not break later steps."""
+        schema = Schema.of("id:int", "v:int", "g:int")
+        low = Relation("L2", schema, [(i, i, i % 2) for i in range(8)])
+        high = Relation("H2", schema, [(i, i + 100, i % 2) for i in range(8)])
+        mid = Relation("M2", schema, [(i, i, i % 2) for i in range(8)])
+        query = JoinQuery(
+            "empty-mid",
+            {"a": low, "b": high, "c": mid},
+            [
+                JoinCondition.parse(1, "a.v > b.v"),  # empty
+                JoinCondition.parse(2, "b.g = c.g"),
+            ],
+        )
+        for planner_cls in (HivePlanner, YSmartPlanner, ThetaJoinPlanner):
+            _, outcome = execute(planner_cls, query)
+            assert outcome.report.output_records == 0
+
+
+class TestReporting:
+    def test_report_contains_all_jobs(self, three_way_query):
+        plan, outcome = execute(HivePlanner, three_way_query)
+        assert outcome.report.num_jobs == plan.num_jobs
+
+    def test_makespan_at_least_longest_job(self, three_way_query):
+        _, outcome = execute(ThetaJoinPlanner, three_way_query)
+        longest = max(m.total_time_s for m in outcome.report.job_metrics)
+        assert outcome.report.makespan_s >= longest
+
+    def test_sequential_cascade_accumulates(self, three_way_query):
+        plan, outcome = execute(HivePlanner, three_way_query)
+        total = sum(m.total_time_s for m in outcome.report.job_metrics)
+        assert outcome.report.makespan_s == pytest.approx(total, rel=0.01)
+
+    def test_pig_slower_than_hive(self, triangle_query):
+        _, hive = execute(HivePlanner, triangle_query)
+        _, pig = execute(PigPlanner, triangle_query)
+        assert pig.report.makespan_s > hive.report.makespan_s
+
+
+class TestPlanValidation:
+    def test_uncovered_condition_rejected(self, three_way_query):
+        config = ClusterConfig()
+        plan = ExecutionPlan(
+            name="bad",
+            method="hive",
+            query_name=three_way_query.name,
+            jobs=[
+                PlannedJob(
+                    job_id="only",
+                    strategy="onebucket",
+                    inputs=(InputRef.base("a"), InputRef.base("b")),
+                    condition_ids=(1,),  # condition 2 uncovered
+                    num_reducers=2,
+                    units=4,
+                )
+            ],
+            total_units=config.total_units,
+        )
+        with pytest.raises(ExecutionError):
+            PlanExecutor(SimulatedCluster(config)).execute(plan, three_way_query)
+
+
+class TestHashMerge:
+    def test_merges_on_shared_ids(self):
+        ab = [
+            merge_composites(singleton("a", 0, (0,)), singleton("b", 1, (1,))),
+            merge_composites(singleton("a", 1, (1,)), singleton("b", 1, (1,))),
+        ]
+        bc = [
+            merge_composites(singleton("b", 1, (1,)), singleton("c", 5, (5,))),
+        ]
+        merged = _hash_merge(ab, bc, frozenset({"b"}))
+        assert len(merged) == 2
+        assert all(len(c) == 3 for c in merged)
+
+    def test_no_shared_match(self):
+        ab = [merge_composites(singleton("a", 0, (0,)), singleton("b", 2, (2,)))]
+        bc = [merge_composites(singleton("b", 1, (1,)), singleton("c", 5, (5,)))]
+        assert _hash_merge(ab, bc, frozenset({"b"})) == []

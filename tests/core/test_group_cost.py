@@ -1,0 +1,111 @@
+"""Tests for merge planning and the group cost C(T) (Section 4.2, Fig. 4)."""
+
+import pytest
+
+from repro.core.group_cost import (
+    MergeInput,
+    group_cost_s,
+    merge_duration_s,
+    plan_merges,
+)
+from repro.errors import PlanningError
+
+DISK = 74.26e6  # bytes/s
+
+
+def mi(source, aliases, rows, ready):
+    return MergeInput(source, frozenset(aliases), rows, ready)
+
+
+class TestMergeDuration:
+    def test_scales_with_rows(self):
+        small = merge_duration_s(10, 10, 10, DISK)
+        large = merge_duration_s(1e9, 1e9, 1e9, DISK)
+        assert large > small
+
+    def test_id_only_merge_is_cheap(self):
+        # Even a million-row merge is a matter of seconds: only ids move.
+        assert merge_duration_s(1e6, 1e6, 1e6, DISK) < 5.0
+
+
+class TestPlanMerges:
+    def test_figure4_example(self):
+        """Figure 4: three jobs finishing at 5, 7, 9 time units; merging
+        (i,j) first (shared R1,R4), then with k — the final completion is
+        just above the slowest job, as the paper's '9 + 2 = 11' example."""
+        inputs = [
+            mi("ei", {"R1", "R2", "R4"}, 100, 5.0),
+            mi("ej", {"R1", "R3", "R4"}, 100, 7.0),
+            mi("ek", {"R2", "R3", "R4", "R5"}, 100, 9.0),
+        ]
+        plan = plan_merges(inputs, lambda aliases: 50.0, DISK)
+        assert len(plan.steps) == 2
+        # First merge starts when ei and ej are both done (t=7), not at 9.
+        assert plan.steps[0].start_s == pytest.approx(7.0)
+        assert plan.completion_s > 9.0
+        assert plan.completion_s < 9.0 + 2.0  # merges are cheap
+
+    def test_merges_overlap_with_late_jobs(self):
+        inputs = [
+            mi("fast1", {"a", "b"}, 10, 1.0),
+            mi("fast2", {"b", "c"}, 10, 1.0),
+            mi("slow", {"c", "d"}, 10, 100.0),
+        ]
+        plan = plan_merges(inputs, lambda aliases: 10.0, DISK)
+        # fast1+fast2 merged long before slow finishes.
+        assert plan.steps[0].start_s == pytest.approx(1.0)
+        assert plan.completion_s == pytest.approx(
+            100.0 + plan.steps[1].duration_s
+        )
+
+    def test_single_input_needs_no_merge(self):
+        plan = plan_merges(
+            [mi("only", {"a", "b"}, 5, 3.0)], lambda aliases: 5.0, DISK
+        )
+        assert plan.steps == []
+        assert plan.completion_s == 3.0
+
+    def test_unmergeable_inputs_rejected(self):
+        inputs = [mi("x", {"a"}, 5, 1.0), mi("y", {"b"}, 5, 1.0)]
+        with pytest.raises(PlanningError):
+            plan_merges(inputs, lambda aliases: 5.0, DISK)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_merges([], lambda aliases: 5.0, DISK)
+
+    def test_smallest_pair_merged_first(self):
+        inputs = [
+            mi("big", {"a", "b"}, 1e6, 0.0),
+            mi("small1", {"b", "c"}, 10, 0.0),
+            mi("small2", {"c", "d"}, 10, 0.0),
+        ]
+        plan = plan_merges(inputs, lambda aliases: 20.0, DISK)
+        assert {plan.steps[0].left_id, plan.steps[0].right_id} == {
+            "small1",
+            "small2",
+        }
+
+
+class TestGroupCost:
+    def test_single_job_group(self):
+        cost = group_cost_s(
+            {"j": 12.0}, {"j": frozenset({"a"})}, {"j": 5.0},
+            lambda aliases: 5.0, DISK,
+        )
+        assert cost == 12.0
+
+    def test_group_cost_dominated_by_slowest_plus_merge(self):
+        cost = group_cost_s(
+            {"j1": 5.0, "j2": 9.0},
+            {"j1": frozenset({"a", "b"}), "j2": frozenset({"b", "c"})},
+            {"j1": 100.0, "j2": 100.0},
+            lambda aliases: 50.0,
+            DISK,
+        )
+        assert cost > 9.0
+        assert cost < 11.0
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(PlanningError):
+            group_cost_s({}, {}, {}, lambda aliases: 0.0, DISK)

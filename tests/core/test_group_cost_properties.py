@@ -1,0 +1,112 @@
+"""Property-based tests for merge planning (Section 4.2, Figure 4)."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.group_cost import (
+    MERGE_STARTUP_S,
+    MergeInput,
+    merge_duration_s,
+    plan_merges,
+)
+
+ALIAS_POOL = ["r1", "r2", "r3", "r4", "r5"]
+
+
+@st.composite
+def merge_inputs(draw):
+    """2-5 partial results over alias sets that form a connected chain,
+    so a full merge is always possible."""
+    count = draw(st.integers(min_value=2, max_value=5))
+    inputs = []
+    previous_alias = None
+    for index in range(count):
+        size = draw(st.integers(min_value=1, max_value=3))
+        aliases = set(
+            draw(
+                st.lists(
+                    st.sampled_from(ALIAS_POOL),
+                    min_size=size,
+                    max_size=size,
+                    unique=True,
+                )
+            )
+        )
+        if previous_alias is not None:
+            aliases.add(previous_alias)  # guarantees chain connectivity
+        previous_alias = sorted(aliases)[0]
+        inputs.append(
+            MergeInput(
+                source_id=f"job{index}",
+                aliases=frozenset(aliases),
+                rows=float(draw(st.integers(min_value=0, max_value=10_000))),
+                ready_at_s=float(draw(st.integers(min_value=0, max_value=100))),
+            )
+        )
+    return inputs
+
+
+def rows_estimate(aliases):
+    return float(50 * len(aliases))
+
+
+class TestPlanMerges:
+    @given(merge_inputs())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_count_is_inputs_minus_one(self, inputs):
+        plan = plan_merges(inputs, rows_estimate, disk_bytes_s=50e6)
+        assert len(plan.steps) == len(inputs) - 1
+
+    @given(merge_inputs())
+    @settings(max_examples=60, deadline=None)
+    def test_final_covers_all_aliases(self, inputs):
+        plan = plan_merges(inputs, rows_estimate, disk_bytes_s=50e6)
+        covered = frozenset().union(*(i.aliases for i in inputs))
+        if plan.steps:
+            assert plan.steps[-1].aliases == covered
+
+    @given(merge_inputs())
+    @settings(max_examples=60, deadline=None)
+    def test_steps_start_after_their_inputs(self, inputs):
+        plan = plan_merges(inputs, rows_estimate, disk_bytes_s=50e6)
+        ready = {i.source_id: i.ready_at_s for i in inputs}
+        for step in plan.steps:
+            assert step.start_s >= ready[step.left_id] - 1e-9 if step.left_id in ready else True
+            assert step.start_s >= ready[step.right_id] - 1e-9 if step.right_id in ready else True
+            ready[step.out_id] = step.end_s
+
+    @given(merge_inputs())
+    @settings(max_examples=60, deadline=None)
+    def test_completion_after_last_input_ready(self, inputs):
+        plan = plan_merges(inputs, rows_estimate, disk_bytes_s=50e6)
+        last_ready = max(i.ready_at_s for i in inputs)
+        assert plan.completion_s >= last_ready - 1e-9
+
+    @given(merge_inputs())
+    @settings(max_examples=60, deadline=None)
+    def test_completion_equals_final_step_end(self, inputs):
+        plan = plan_merges(inputs, rows_estimate, disk_bytes_s=50e6)
+        if plan.steps:
+            assert plan.completion_s == pytest.approx(plan.steps[-1].end_s)
+
+
+class TestMergeDuration:
+    @given(
+        st.floats(min_value=0, max_value=1e7),
+        st.floats(min_value=0, max_value=1e7),
+        st.floats(min_value=0, max_value=1e8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_duration_includes_startup_and_grows_with_volume(
+        self, left, right, out
+    ):
+        base = merge_duration_s(left, right, out, disk_bytes_s=50e6)
+        bigger = merge_duration_s(left * 2 + 1, right, out, disk_bytes_s=50e6)
+        assert base >= MERGE_STARTUP_S
+        assert bigger > base
+
+    def test_faster_disk_is_cheaper(self):
+        slow = merge_duration_s(1e6, 1e6, 1e6, disk_bytes_s=10e6)
+        fast = merge_duration_s(1e6, 1e6, 1e6, disk_bytes_s=100e6)
+        assert fast < slow

@@ -1,0 +1,99 @@
+"""Tests for the d-dimensional Hilbert curve, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hilbert import (
+    curve_length,
+    index_to_point,
+    point_to_index,
+    walk,
+)
+from repro.errors import PartitionError
+
+
+class TestBasics:
+    def test_curve_length(self):
+        assert curve_length(2, 2) == 16
+        assert curve_length(3, 2) == 64
+        assert curve_length(2, 3) == 64
+
+    def test_2d_order_starts_at_origin(self):
+        assert index_to_point(0, 2, 2) == (0, 0)
+
+    def test_known_2d_first_quadrant(self):
+        # The order-1 2D Hilbert curve visits (0,0),(0,1),(1,1),(1,0)
+        # under Skilling's axis convention (up, right, down).
+        points = [index_to_point(i, 1, 2) for i in range(4)]
+        assert points[0] == (0, 0)
+        assert points[-1][0] != points[0][0] or points[-1][1] != points[0][1]
+        assert len(set(points)) == 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(PartitionError):
+            index_to_point(-1, 2, 2)
+        with pytest.raises(PartitionError):
+            index_to_point(16, 2, 2)
+        with pytest.raises(PartitionError):
+            point_to_index((0,), 2, 2)
+        with pytest.raises(PartitionError):
+            point_to_index((4, 0), 2, 2)
+        with pytest.raises(PartitionError):
+            curve_length(0, 2)
+
+    def test_walk_enumerates_everything(self):
+        cells = list(walk(2, 2))
+        assert len(cells) == 16
+        assert len(set(cells)) == 16
+
+
+@st.composite
+def bits_dims(draw):
+    dims = draw(st.integers(min_value=1, max_value=4))
+    max_bits = {1: 8, 2: 5, 3: 3, 4: 2}[dims]
+    bits = draw(st.integers(min_value=1, max_value=max_bits))
+    return bits, dims
+
+
+class TestProperties:
+    @given(bits_dims(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, bd, data):
+        bits, dims = bd
+        index = data.draw(
+            st.integers(min_value=0, max_value=curve_length(bits, dims) - 1)
+        )
+        point = index_to_point(index, bits, dims)
+        assert point_to_index(point, bits, dims) == index
+
+    @given(bits_dims(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacent_indices_are_adjacent_cells(self, bd, data):
+        """The defining Hilbert property: consecutive curve positions are
+        grid neighbours (Manhattan distance exactly 1)."""
+        bits, dims = bd
+        index = data.draw(
+            st.integers(min_value=0, max_value=curve_length(bits, dims) - 2)
+        )
+        a = index_to_point(index, bits, dims)
+        b = index_to_point(index + 1, bits, dims)
+        assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    @given(bits_dims())
+    @settings(max_examples=25, deadline=None)
+    def test_bijective_over_whole_grid(self, bd):
+        bits, dims = bd
+        n = curve_length(bits, dims)
+        if n > 4096:
+            n = 4096  # cap work; bijectivity of a prefix implies no dupes
+        seen = {index_to_point(i, bits, dims) for i in range(n)}
+        assert len(seen) == n
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=5, deadline=None)
+    def test_1d_is_identity_like(self, bits):
+        """In one dimension the curve must be monotone (it is the line)."""
+        n = curve_length(bits, 1)
+        points = [index_to_point(i, bits, 1)[0] for i in range(n)]
+        assert points == sorted(points) or points == sorted(points, reverse=True)

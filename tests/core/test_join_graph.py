@@ -1,0 +1,94 @@
+"""Tests for the join graph GJ (Definition 1) and Eulerian analysis."""
+
+import pytest
+
+from repro.core.join_graph import JoinGraph
+from repro.errors import QueryError
+
+
+def fig1_graph() -> JoinGraph:
+    """The paper's Figure 1 example: 5 relations, 6 theta edges.
+
+    Edges reconstructed from the adjacency-matrix path sets: theta1(R1,R2),
+    theta2(R2,R3), theta3(R1,R3), theta4(R3,R4), theta5(R3,R5), theta6(R4,R5).
+    """
+    return JoinGraph(
+        ["R1", "R2", "R3", "R4", "R5"],
+        {
+            1: ("R1", "R2"),
+            2: ("R2", "R3"),
+            3: ("R1", "R3"),
+            4: ("R3", "R4"),
+            5: ("R3", "R5"),
+            6: ("R4", "R5"),
+        },
+    )
+
+
+class TestConstruction:
+    def test_from_fig1(self):
+        graph = fig1_graph()
+        assert graph.num_edges == 6
+        assert graph.vertices == ("R1", "R2", "R3", "R4", "R5")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(QueryError):
+            JoinGraph(["a", "b"], {1: ("a", "a")})
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(QueryError):
+            JoinGraph(["a", "b"], {1: ("a", "z")})
+
+    def test_needs_edges(self):
+        with pytest.raises(QueryError):
+            JoinGraph(["a", "b"], {})
+
+    def test_parallel_edges_allowed(self):
+        graph = JoinGraph(["a", "b"], {1: ("a", "b"), 2: ("a", "b")})
+        assert graph.num_edges == 2
+        assert set(graph.incident_edges("a")) == {1, 2}
+
+
+class TestStructure:
+    def test_degrees(self):
+        graph = fig1_graph()
+        assert graph.degree("R3") == 4
+        assert graph.degree("R1") == 2
+
+    def test_eulerian_circuit_in_fig1(self):
+        # The paper notes every node of Figure 1 lies on an Eulerian
+        # circuit ("E(GJP)"); all degrees are even.
+        graph = fig1_graph()
+        assert graph.odd_degree_vertices() == ()
+        assert graph.has_eulerian_circuit()
+        assert graph.has_eulerian_trail()
+
+    def test_no_eulerian_trail_with_four_odd_vertices(self):
+        # A path a-b, c-d, a-c, b-d, a-d has odd degrees at a and d... use
+        # a star with 3 leaves: center degree 3, leaves degree 1 -> 4 odd.
+        graph = JoinGraph(
+            ["c", "x", "y", "z"],
+            {1: ("c", "x"), 2: ("c", "y"), 3: ("c", "z")},
+        )
+        assert len(graph.odd_degree_vertices()) == 4
+        assert not graph.has_eulerian_trail()
+
+    def test_connectivity(self):
+        assert fig1_graph().is_connected()
+
+    def test_other_endpoint(self):
+        graph = fig1_graph()
+        assert graph.other_endpoint(1, "R1") == "R2"
+        with pytest.raises(QueryError):
+            graph.other_endpoint(1, "R5")
+
+    def test_edges_form_connected_subgraph(self):
+        graph = fig1_graph()
+        assert graph.edges_form_connected_subgraph([1, 2])
+        assert graph.edges_form_connected_subgraph([1, 2, 3])
+        assert not graph.edges_form_connected_subgraph([1, 6])
+        assert not graph.edges_form_connected_subgraph([])
+
+    def test_vertices_of_edges(self):
+        graph = fig1_graph()
+        assert graph.vertices_of_edges([4, 6]) == frozenset({"R3", "R4", "R5"})

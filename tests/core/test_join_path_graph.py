@@ -1,0 +1,138 @@
+"""Tests for no-edge-repeating path enumeration and Alg. 2's pruning.
+
+Includes a reconstruction of the paper's Figure 1 example: the path sets
+between relation pairs listed in the adjacency matrix must all be found
+by the enumerator.
+"""
+
+import pytest
+
+from repro.core.join_graph import JoinGraph
+from repro.core.join_path_graph import (
+    CandidateCost,
+    build_join_path_graph,
+    enumerate_paths,
+)
+from repro.errors import PlanningError
+
+from tests.core.test_join_graph import fig1_graph
+
+
+def flat_evaluator(path):
+    """Unit-cost evaluator: every candidate costs its hop count."""
+    return CandidateCost(time_s=float(len(path)), reducers=len(path))
+
+
+class TestEnumeration:
+    def test_single_edge_paths_always_present(self):
+        graph = fig1_graph()
+        paths = enumerate_paths(graph, max_hops=1)
+        assert len(paths) == 6
+
+    def test_fig1_r1_r2_paths(self):
+        """Figure 1's cell (R1, R2) lists exactly these label sets:
+        {1}, {3,2}, {1,2,3}(circuit via R3... as sub-path), {3,4,6,5,2}."""
+        graph = fig1_graph()
+        paths = enumerate_paths(graph)
+        r1r2 = {
+            frozenset(p)
+            for a, b, p in paths
+            if {a, b} == {"R1", "R2"}
+        }
+        for expected in [
+            frozenset({1}),
+            frozenset({2, 3}),
+            frozenset({2, 3, 4, 5, 6}),
+        ]:
+            assert expected in r1r2
+
+    def test_fig1_r3_r4_paths(self):
+        """Cell (R3, R4): {4}, {6,5}, plus longer detours through R1/R2."""
+        graph = fig1_graph()
+        paths = enumerate_paths(graph)
+        r3r4 = {frozenset(p) for a, b, p in paths if {a, b} == {"R3", "R4"}}
+        assert frozenset({4}) in r3r4
+        assert frozenset({5, 6}) in r3r4
+
+    def test_no_edge_repeats_within_path(self):
+        graph = fig1_graph()
+        for _, _, path in enumerate_paths(graph):
+            assert len(path) == len(set(path))
+
+    def test_max_hops_limits_length(self):
+        graph = fig1_graph()
+        for _, _, path in enumerate_paths(graph, max_hops=2):
+            assert len(path) <= 2
+
+    def test_paths_are_connected_edge_sequences(self):
+        graph = fig1_graph()
+        for start, end, path in enumerate_paths(graph):
+            current = start
+            for cid in path:
+                current = graph.other_endpoint(cid, current)
+            assert current == end
+
+
+class TestBuildJoinPathGraph:
+    def test_sufficient_without_pruning(self):
+        graph = fig1_graph()
+        gjp = build_join_path_graph(graph, flat_evaluator, apply_pruning=False)
+        assert gjp.is_sufficient()
+        assert gjp.pruned == 0
+
+    def test_pruning_keeps_sufficiency(self):
+        graph = fig1_graph()
+        gjp = build_join_path_graph(graph, flat_evaluator)
+        assert gjp.is_sufficient()
+
+    def test_pruning_reduces_candidates(self):
+        graph = fig1_graph()
+        full = build_join_path_graph(graph, flat_evaluator, apply_pruning=False)
+        pruned = build_join_path_graph(graph, flat_evaluator)
+        assert len(pruned) <= len(full)
+        # With linear costs, multi-hop paths are always substitutable by
+        # their constituent single edges, so pruning bites hard.
+        assert len(pruned) < len(full)
+
+    def test_lemma1_respects_reducer_budget(self):
+        """A multi-edge candidate needing FEWER reducers than the sum of
+        its substitutes must survive (condition 3 of Lemma 1)."""
+        graph = JoinGraph(["a", "b", "c"], {1: ("a", "b"), 2: ("b", "c")})
+
+        def evaluator(path):
+            if len(path) == 1:
+                return CandidateCost(time_s=1.0, reducers=8)
+            # More expensive but far fewer reducers than 8 + 8.
+            return CandidateCost(time_s=3.0, reducers=2)
+
+        gjp = build_join_path_graph(graph, evaluator)
+        label_sets = {c.labels for c in gjp.candidates}
+        assert frozenset({1, 2}) in label_sets
+
+    def test_lemma1_prunes_dominated_candidate(self):
+        graph = JoinGraph(["a", "b", "c"], {1: ("a", "b"), 2: ("b", "c")})
+
+        def evaluator(path):
+            if len(path) == 1:
+                return CandidateCost(time_s=1.0, reducers=2)
+            # Strictly worse than the two singles on every Lemma 1 axis.
+            return CandidateCost(time_s=5.0, reducers=10)
+
+        gjp = build_join_path_graph(graph, evaluator)
+        label_sets = {c.labels for c in gjp.candidates}
+        assert frozenset({1, 2}) not in label_sets
+        assert gjp.pruned >= 1
+
+    def test_covering_lookup(self):
+        graph = fig1_graph()
+        gjp = build_join_path_graph(graph, flat_evaluator)
+        for cid in graph.edge_ids:
+            covering = gjp.covering(cid)
+            assert covering, f"condition {cid} uncovered"
+            assert all(cid in c.labels for c in covering)
+
+    def test_invalid_cost_rejected(self):
+        with pytest.raises(PlanningError):
+            CandidateCost(time_s=-1.0, reducers=1)
+        with pytest.raises(PlanningError):
+            CandidateCost(time_s=1.0, reducers=0)

@@ -1,0 +1,129 @@
+"""Tests for hypercube partitioning (Theorem 2, Equations 7-9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioner import (
+    GridPartitioner,
+    HypercubePartitioner,
+    RandomPartitioner,
+    choose_grid_bits,
+)
+from repro.errors import PartitionError
+
+
+class TestConstruction:
+    def test_invalid_inputs(self):
+        with pytest.raises(PartitionError):
+            HypercubePartitioner([], 4)
+        with pytest.raises(PartitionError):
+            HypercubePartitioner([0, 5], 4)
+        with pytest.raises(PartitionError):
+            HypercubePartitioner([5, 5], 0)
+
+    def test_components_clamped_to_cells(self):
+        partition = HypercubePartitioner([2, 2], 1000, bits=1)
+        assert partition.num_components <= partition.num_cells
+
+    def test_choose_grid_bits_oversamples(self):
+        bits = choose_grid_bits(2, 16)
+        assert (1 << (bits * 2)) >= 16 * 8
+
+    def test_choose_grid_bits_capped(self):
+        bits = choose_grid_bits(8, 64)
+        assert (1 << (bits * 8)) <= (1 << 14) or bits == 1
+
+
+class TestRoutingCorrectness:
+    """Every joint cell must be owned by exactly one component, and each
+    tuple must be routed to every component that could own one of its
+    combinations — the exactness/no-duplicates guarantee of Algorithm 1."""
+
+    @pytest.mark.parametrize("cards,k", [([7, 5], 3), ([10, 8, 6], 5), ([4, 4, 4, 4], 7)])
+    def test_owner_within_routed_components(self, cards, k):
+        partition = HypercubePartitioner(cards, k)
+        import itertools
+
+        for combo in itertools.product(*(range(c) for c in cards)):
+            owner = partition.owner_component(combo)
+            assert 0 <= owner < partition.num_components
+            for dim, gid in enumerate(combo):
+                components = partition.components_for(dim, gid)
+                if owner in components:
+                    break
+            # The owner must receive every dimension's tuple of the combo.
+            for dim, gid in enumerate(combo):
+                assert owner in partition.components_for(dim, gid)
+
+    def test_out_of_range_rejected(self):
+        partition = HypercubePartitioner([5, 5], 2)
+        with pytest.raises(PartitionError):
+            partition.slab_of(0, 5)
+        with pytest.raises(PartitionError):
+            partition.slab_of(2, 0)
+        with pytest.raises(PartitionError):
+            partition.owner_component([1])
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=20), min_size=2, max_size=3),
+        st.integers(min_value=1, max_value=16),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_every_combo_owned_once(self, cards, k, data):
+        partition = HypercubePartitioner(cards, k)
+        combo = [
+            data.draw(st.integers(min_value=0, max_value=c - 1)) for c in cards
+        ]
+        owner = partition.owner_component(combo)
+        for dim, gid in enumerate(combo):
+            assert owner in partition.components_for(dim, gid)
+
+
+class TestDuplicationScore:
+    def test_score_is_cardinality_sum_for_one_component(self):
+        # Equation 7 with kR=1: every tuple goes to exactly one component.
+        partition = HypercubePartitioner([10, 20, 30], 1)
+        assert partition.duplication_score() == 60
+
+    def test_score_grows_with_components(self):
+        # Figure 5's observation: network volume increases with kR.
+        cards = [64, 64, 64]
+        scores = [
+            HypercubePartitioner(cards, k).duplication_score()
+            for k in (1, 2, 4, 8)
+        ]
+        assert scores == sorted(scores)
+        assert scores[-1] > scores[0]
+
+    def test_hilbert_beats_random(self):
+        # Theorem 2's point: the Hilbert layout duplicates less than a
+        # random cell assignment at the same kR.
+        cards = [64, 64]
+        k = 16
+        hilbert = HypercubePartitioner(cards, k, bits=4).duplication_score()
+        random_ = RandomPartitioner(cards, k, bits=4).duplication_score()
+        assert hilbert < random_
+
+    def test_hilbert_no_worse_than_rowmajor_grid(self):
+        cards = [64, 64]
+        k = 16
+        hilbert = HypercubePartitioner(cards, k, bits=4)
+        grid = GridPartitioner(cards, k, bits=4)
+        assert (
+            hilbert.duplication_score() <= grid.duplication_score()
+        )
+
+    def test_summary_consistency(self):
+        partition = HypercubePartitioner([30, 40], 4)
+        summary = partition.summary()
+        assert summary.duplication_score == sum(summary.duplication_by_dim)
+        # All combinations are covered exactly once across components.
+        assert summary.total_combinations == 30 * 40
+        assert summary.max_combinations_per_component >= (30 * 40) // 4
+
+    def test_balance_reasonable(self):
+        summary = HypercubePartitioner([64, 64], 8, bits=4).summary()
+        mean_combos = summary.total_combinations / summary.num_components
+        assert summary.max_combinations_per_component <= mean_combos * 2.5

@@ -1,0 +1,108 @@
+"""Tests for execution-plan data structures and validation."""
+
+import pytest
+
+from repro.core.plan import (
+    STRATEGY_EQUI,
+    STRATEGY_HYPERCUBE,
+    STRATEGY_ONEBUCKET,
+    ExecutionPlan,
+    InputRef,
+    PlannedJob,
+)
+from repro.errors import PlanningError
+
+
+def pj(job_id="j1", strategy=STRATEGY_ONEBUCKET, inputs=None, conditions=(1,),
+       depends=()):
+    return PlannedJob(
+        job_id=job_id,
+        strategy=strategy,
+        inputs=inputs or (InputRef.base("a"), InputRef.base("b")),
+        condition_ids=tuple(conditions),
+        num_reducers=4,
+        units=8,
+        depends_on=tuple(depends),
+    )
+
+
+class TestInputRef:
+    def test_base_and_job(self):
+        assert InputRef.base("a").kind == "base"
+        assert InputRef.job("j1").kind == "job"
+
+    def test_invalid_kind(self):
+        with pytest.raises(PlanningError):
+            InputRef("what", "x")
+
+
+class TestPlannedJob:
+    def test_pairwise_strategy_enforced(self):
+        with pytest.raises(PlanningError):
+            pj(inputs=(InputRef.base("a"), InputRef.base("b"), InputRef.base("c")))
+
+    def test_hypercube_allows_many_inputs(self):
+        job = pj(
+            strategy=STRATEGY_HYPERCUBE,
+            inputs=(InputRef.base("a"), InputRef.base("b"), InputRef.base("c")),
+        )
+        assert len(job.inputs) == 3
+
+    def test_needs_conditions(self):
+        with pytest.raises(PlanningError):
+            pj(conditions=())
+
+    def test_unknown_strategy(self):
+        with pytest.raises(PlanningError):
+            pj(strategy="magic")
+
+    def test_needs_two_inputs(self):
+        with pytest.raises(PlanningError):
+            pj(inputs=(InputRef.base("a"),))
+
+
+class TestExecutionPlan:
+    def plan_with(self, jobs):
+        return ExecutionPlan(
+            name="p", method="hive", query_name="q", jobs=jobs, total_units=16
+        )
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(PlanningError):
+            self.plan_with([pj("x"), pj("x")])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(PlanningError):
+            self.plan_with([pj("x", depends=("ghost",))])
+
+    def test_unknown_job_input_rejected(self):
+        with pytest.raises(PlanningError):
+            self.plan_with(
+                [pj("x", inputs=(InputRef.job("ghost"), InputRef.base("b")))]
+            )
+
+    def test_terminal_jobs(self):
+        j1 = pj("j1")
+        j2 = pj(
+            "j2",
+            inputs=(InputRef.job("j1"), InputRef.base("c")),
+            conditions=(2,),
+            depends=("j1",),
+        )
+        plan = self.plan_with([j1, j2])
+        assert [j.job_id for j in plan.terminal_jobs()] == ["j2"]
+
+    def test_covered_conditions(self):
+        plan = self.plan_with([pj("j1", conditions=(1, 3))])
+        assert plan.covered_condition_ids() == frozenset({1, 3})
+
+    def test_describe_mentions_jobs(self):
+        plan = self.plan_with([pj("j1")])
+        text = plan.describe()
+        assert "j1" in text and "onebucket" in text
+
+    def test_job_lookup(self):
+        plan = self.plan_with([pj("j1")])
+        assert plan.job("j1").job_id == "j1"
+        with pytest.raises(PlanningError):
+            plan.job("nope")

@@ -1,0 +1,101 @@
+"""Tests for greedy set-cover job selection."""
+
+import pytest
+
+from repro.core.join_graph import JoinGraph
+from repro.core.join_path_graph import CandidateCost, build_join_path_graph
+from repro.core.plan_selector import (
+    candidate_covers,
+    cover_is_sufficient,
+    prune_redundant,
+    select_cover,
+)
+
+from tests.core.test_join_graph import fig1_graph
+
+
+def build(graph, costs):
+    """G'JP with explicit per-label-set costs (fallback: hop count)."""
+
+    def evaluator(path):
+        key = frozenset(path)
+        time = costs.get(key, float(len(path)))
+        return CandidateCost(time_s=time, reducers=max(1, len(path)))
+
+    return build_join_path_graph(graph, evaluator, apply_pruning=False)
+
+
+class TestSelectCover:
+    def test_cover_is_sufficient(self):
+        gjp = build(fig1_graph(), {})
+        chosen = select_cover(gjp)
+        assert cover_is_sufficient(chosen, set(gjp.graph.edge_ids))
+
+    def test_prefers_cheap_multiway_job(self):
+        graph = JoinGraph(["a", "b", "c"], {1: ("a", "b"), 2: ("b", "c")})
+        # The combined job is cheaper than any single edge: greedy must take it.
+        gjp = build(graph, {frozenset({1, 2}): 0.5, frozenset({1}): 10.0,
+                            frozenset({2}): 10.0})
+        chosen = select_cover(gjp)
+        assert [sorted(c.labels) for c in chosen] == [[1, 2]]
+
+    def test_prefers_singles_when_multi_expensive(self):
+        graph = JoinGraph(["a", "b", "c"], {1: ("a", "b"), 2: ("b", "c")})
+        gjp = build(graph, {frozenset({1, 2}): 100.0, frozenset({1}): 1.0,
+                            frozenset({2}): 1.0})
+        chosen = select_cover(gjp)
+        assert sorted(sorted(c.labels) for c in chosen) == [[1], [2]]
+
+    def test_exponent_biases_toward_coverage(self):
+        graph = JoinGraph(["a", "b", "c"], {1: ("a", "b"), 2: ("b", "c")})
+        # Multi job costs slightly more than 2x a single: classic greedy
+        # takes singles, a high exponent takes the multi.
+        gjp = build(graph, {frozenset({1, 2}): 2.5, frozenset({1}): 1.0,
+                            frozenset({2}): 1.0})
+        classic = select_cover(gjp, exponent=1.0)
+        eager = select_cover(gjp, exponent=4.0)
+        assert len(classic) == 2
+        assert len(eager) == 1
+
+
+class TestPruneRedundant:
+    def test_drops_fully_overlapped_pick(self):
+        graph = JoinGraph(["a", "b", "c"], {1: ("a", "b"), 2: ("b", "c")})
+        gjp = build(graph, {})
+        by_labels = {frozenset(c.labels): c for c in gjp.candidates}
+        chosen = [
+            by_labels[frozenset({1})],
+            by_labels[frozenset({1, 2})],
+        ]
+        kept = prune_redundant(chosen, {1, 2})
+        assert len(kept) == 1
+        assert kept[0].labels == frozenset({1, 2})
+
+    def test_keeps_necessary_jobs(self):
+        graph = JoinGraph(["a", "b", "c"], {1: ("a", "b"), 2: ("b", "c")})
+        gjp = build(graph, {})
+        by_labels = {frozenset(c.labels): c for c in gjp.candidates}
+        chosen = [by_labels[frozenset({1})], by_labels[frozenset({2})]]
+        assert prune_redundant(chosen, {1, 2}) == chosen
+
+
+class TestCandidateCovers:
+    def test_all_covers_sufficient(self):
+        gjp = build(fig1_graph(), {})
+        covers = candidate_covers(gjp)
+        universe = set(gjp.graph.edge_ids)
+        assert covers
+        for cover in covers:
+            assert cover_is_sufficient(cover, universe)
+
+    def test_covers_deduplicated(self):
+        gjp = build(fig1_graph(), {})
+        covers = candidate_covers(gjp)
+        keys = [frozenset(c.labels for c in cover) for cover in covers]
+        assert len(keys) == len(set(keys))
+
+    def test_includes_all_singles_cover(self):
+        gjp = build(fig1_graph(), {})
+        covers = candidate_covers(gjp)
+        sizes = [len(cover) for cover in covers]
+        assert max(sizes) == gjp.graph.num_edges  # the all-singles cover

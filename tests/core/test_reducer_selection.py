@@ -1,0 +1,92 @@
+"""Tests for kR selection via Equation 10."""
+
+import pytest
+
+from repro.core.partitioner import HypercubePartitioner
+from repro.core.reducer_selection import (
+    LAMBDA_DEFAULT,
+    ReducerChoice,
+    best_kr_for_map_output,
+    candidate_reducer_counts,
+    choose_reducer_count,
+    delta_value,
+    evaluate_reducer_counts,
+)
+from repro.errors import PartitionError
+
+
+class TestDelta:
+    def test_lambda_default_in_paper_interval(self):
+        # Section 5.1 footnote: lambda observed in (0.38, 0.46), fixed 0.4.
+        assert 0.38 < LAMBDA_DEFAULT < 0.46
+
+    def test_delta_blends_both_terms(self):
+        summary = HypercubePartitioner([100, 100], 8).summary()
+        pure_network = delta_value(summary, lam=1.0)
+        pure_work = delta_value(summary, lam=0.0)
+        blended = delta_value(summary, lam=0.4)
+        assert min(pure_network, pure_work) <= blended <= max(
+            pure_network, pure_work
+        )
+
+    def test_invalid_lambda(self):
+        summary = HypercubePartitioner([10, 10], 2).summary()
+        with pytest.raises(PartitionError):
+            delta_value(summary, lam=1.5)
+
+
+class TestCandidates:
+    def test_powers_of_two_plus_budget(self):
+        assert candidate_reducer_counts(10) == [1, 2, 4, 8, 10]
+        assert candidate_reducer_counts(16) == [1, 2, 4, 8, 16]
+        assert candidate_reducer_counts(1) == [1]
+
+    def test_invalid_budget(self):
+        with pytest.raises(PartitionError):
+            candidate_reducer_counts(0)
+
+
+class TestChoice:
+    def test_choice_within_budget(self):
+        choice = choose_reducer_count([200, 200], 32)
+        assert 1 <= choice.num_reducers <= 32
+
+    def test_workload_term_pulls_kr_up(self):
+        """With lambda -> 0 (only per-reducer work matters) the chosen kR
+        must be at least the choice at lambda -> 1 (only network)."""
+        cards = [500, 500]
+        work_choice = choose_reducer_count(cards, 64, lam=0.01)
+        net_choice = choose_reducer_count(cards, 64, lam=0.99)
+        assert work_choice.num_reducers >= net_choice.num_reducers
+
+    def test_evaluations_cover_all_candidates(self):
+        choices = evaluate_reducer_counts([100, 100], 16)
+        assert [c.num_reducers for c in choices] == [1, 2, 4, 8, 16]
+
+    def test_delta_of_choice_is_minimum(self):
+        cards = [300, 300, 300]
+        choices = evaluate_reducer_counts(cards, 32)
+        best = choose_reducer_count(cards, 32)
+        assert best.delta == min(c.delta for c in choices)
+
+    def test_duplication_monotone_in_kr(self):
+        choices = evaluate_reducer_counts([256, 256], 32)
+        dups = [c.duplication_score for c in choices]
+        assert dups == sorted(dups)
+
+    def test_work_per_reducer_monotone_down(self):
+        choices = evaluate_reducer_counts([256, 256], 32)
+        work = [c.combinations_per_reducer for c in choices]
+        assert work == sorted(work, reverse=True)
+
+
+class TestFittingCurve:
+    def test_fig7a_shape_monotone(self):
+        """Best kR grows with map output volume (Figure 7a's fitting curve)."""
+        ks = [best_kr_for_map_output(mb) for mb in (1, 10, 100, 1000, 10000)]
+        assert ks == sorted(ks)
+        assert ks[0] >= 1
+        assert ks[-1] <= 64
+
+    def test_tiny_output_wants_one_reducer(self):
+        assert best_kr_for_map_output(0) == 1

@@ -1,0 +1,136 @@
+"""Tests for malleable-task scheduling under a processing-unit budget."""
+
+import pytest
+
+from repro.core.scheduler import (
+    MalleableJob,
+    MalleableScheduler,
+    Schedule,
+    ScheduledJob,
+)
+from repro.errors import SchedulingError
+
+
+def job(job_id: str, times: dict) -> MalleableJob:
+    return MalleableJob(job_id, times)
+
+
+class TestMalleableJob:
+    def test_time_at_picks_best_feasible(self):
+        j = job("a", {1: 10.0, 4: 5.0, 8: 3.0})
+        assert j.time_at(8) == 3.0
+        assert j.time_at(6) == 5.0
+        assert j.time_at(1) == 10.0
+
+    def test_time_at_below_minimum_raises(self):
+        j = job("a", {4: 5.0})
+        with pytest.raises(SchedulingError):
+            j.time_at(2)
+
+    def test_canonical_allotment_minimal(self):
+        j = job("a", {1: 10.0, 4: 5.0, 8: 3.0})
+        assert j.canonical_allotment(5.0, budget=16) == 4
+        assert j.canonical_allotment(3.0, budget=16) == 8
+        assert j.canonical_allotment(2.0, budget=16) is None
+        assert j.canonical_allotment(3.0, budget=4) is None
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(SchedulingError):
+            MalleableJob("a", {})
+        with pytest.raises(SchedulingError):
+            MalleableJob("a", {0: 1.0})
+        with pytest.raises(SchedulingError):
+            MalleableJob("a", {1: -1.0})
+
+
+class TestScheduler:
+    def test_parallel_when_units_suffice(self):
+        """The paper's Figure 4 example: 5/7/9-unit-time jobs on 4+4+8
+        reducers run fully in parallel given >= 16 units."""
+        scheduler = MalleableScheduler(16)
+        jobs = [
+            job("ei", {4: 5.0}),
+            job("ej", {4: 7.0}),
+            job("ek", {8: 9.0}),
+        ]
+        schedule = scheduler.schedule(jobs)
+        schedule.verify()
+        assert schedule.makespan_s == pytest.approx(9.0)
+        assert all(s.start_s == 0.0 for s in schedule.jobs)
+
+    def test_serialises_when_units_scarce(self):
+        scheduler = MalleableScheduler(8)
+        jobs = [job("a", {8: 5.0}), job("b", {8: 5.0})]
+        schedule = scheduler.schedule(jobs)
+        schedule.verify()
+        assert schedule.makespan_s == pytest.approx(10.0)
+
+    def test_trades_units_for_time(self):
+        # Two jobs, each 10s at 4 units or 6s at 8 units, on 8 total units:
+        # parallel at 4+4 (10s) beats serial at 8 (12s).
+        scheduler = MalleableScheduler(8)
+        jobs = [
+            job("a", {4: 10.0, 8: 6.0}),
+            job("b", {4: 10.0, 8: 6.0}),
+        ]
+        schedule = scheduler.schedule(jobs)
+        schedule.verify()
+        assert schedule.makespan_s == pytest.approx(10.0)
+
+    def test_budget_never_exceeded(self):
+        scheduler = MalleableScheduler(10)
+        jobs = [job(f"j{i}", {2: 4.0, 4: 3.0, 8: 2.0}) for i in range(7)]
+        schedule = scheduler.schedule(jobs)
+        schedule.verify()  # raises on violation
+
+    def test_all_jobs_placed_exactly_once(self):
+        scheduler = MalleableScheduler(6)
+        jobs = [job(f"j{i}", {1: 5.0, 2: 3.0}) for i in range(5)]
+        schedule = scheduler.schedule(jobs)
+        assert sorted(s.job_id for s in schedule.jobs) == sorted(
+            j.job_id for j in jobs
+        )
+
+    def test_job_too_wide_rejected(self):
+        scheduler = MalleableScheduler(4)
+        with pytest.raises(SchedulingError):
+            scheduler.schedule([job("a", {8: 1.0})])
+
+    def test_empty_schedule(self):
+        schedule = MalleableScheduler(4).schedule([])
+        assert schedule.makespan_s == 0.0
+
+    def test_makespan_at_most_sequential(self):
+        scheduler = MalleableScheduler(16)
+        jobs = [job(f"j{i}", {2: 6.0, 8: 3.0, 16: 2.5}) for i in range(6)]
+        schedule = scheduler.schedule(jobs)
+        schedule.verify()
+        sequential = sum(j.time_at(16) for j in jobs)
+        assert schedule.makespan_s <= sequential + 1e-9
+
+    def test_more_units_never_worse(self):
+        jobs = [job(f"j{i}", {1: 8.0, 2: 5.0, 4: 3.0}) for i in range(6)]
+        small = MalleableScheduler(4).schedule(jobs).makespan_s
+        large = MalleableScheduler(16).schedule(jobs).makespan_s
+        assert large <= small + 1e-9
+
+
+class TestSchedule:
+    def test_job_lookup(self):
+        schedule = Schedule(
+            jobs=[ScheduledJob("a", 2, 0.0, 5.0)], total_units=4
+        )
+        assert schedule.job("a").duration_s == 5.0
+        with pytest.raises(SchedulingError):
+            schedule.job("zz")
+
+    def test_verify_catches_overload(self):
+        schedule = Schedule(
+            jobs=[
+                ScheduledJob("a", 3, 0.0, 5.0),
+                ScheduledJob("b", 3, 1.0, 5.0),
+            ],
+            total_units=4,
+        )
+        with pytest.raises(SchedulingError):
+            schedule.verify()

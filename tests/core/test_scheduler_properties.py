@@ -1,0 +1,93 @@
+"""Property-based tests for the malleable-task scheduler (Section 4.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import MalleableJob, MalleableScheduler
+
+
+@st.composite
+def job_sets(draw):
+    """Random malleable job sets with monotone time-vs-units profiles."""
+    num_jobs = draw(st.integers(min_value=1, max_value=8))
+    total_units = draw(st.sampled_from([4, 8, 16, 32]))
+    jobs = []
+    for index in range(num_jobs):
+        base = draw(st.floats(min_value=1.0, max_value=500.0))
+        # Diminishing-returns profile over power-of-two allotments.
+        efficiency = draw(st.floats(min_value=0.5, max_value=1.0))
+        profile = {}
+        units = 1
+        seconds = base
+        while units <= total_units:
+            profile[units] = seconds
+            seconds = seconds / (1.0 + efficiency)
+            units *= 2
+        jobs.append(MalleableJob(f"j{index}", profile))
+    return jobs, total_units
+
+
+class TestScheduleInvariants:
+    @given(job_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_every_job_placed_exactly_once(self, case):
+        jobs, total_units = case
+        schedule = MalleableScheduler(total_units).schedule(jobs)
+        assert sorted(j.job_id for j in schedule.jobs) == sorted(
+            j.job_id for j in jobs
+        )
+
+    @given(job_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_unit_budget_never_exceeded(self, case):
+        """At every job boundary, concurrently running jobs fit in kP."""
+        jobs, total_units = case
+        schedule = MalleableScheduler(total_units).schedule(jobs)
+        events = sorted({j.start_s for j in schedule.jobs})
+        for t in events:
+            in_flight = sum(
+                j.units for j in schedule.jobs if j.start_s <= t < j.end_s
+            )
+            assert in_flight <= total_units
+
+    @given(job_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_durations_match_allotments(self, case):
+        jobs, total_units = case
+        by_id = {j.job_id: j for j in jobs}
+        schedule = MalleableScheduler(total_units).schedule(jobs)
+        for placed in schedule.jobs:
+            assert placed.duration_s == by_id[placed.job_id].time_at(placed.units)
+
+    @given(job_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, case):
+        """Lower bound: no job can beat its best possible time.  Upper
+        bound: the list-scheduling 2-approximation against the sequential
+        full-allotment schedule (itself an upper bound on OPT)."""
+        jobs, total_units = case
+        schedule = MalleableScheduler(total_units).schedule(jobs)
+        best_single = max(min(j.time_by_units.values()) for j in jobs)
+        sequential = sum(j.time_at(total_units) for j in jobs)
+        assert schedule.makespan_s >= best_single - 1e-9
+        assert schedule.makespan_s <= 2.0 * sequential + 1e-9
+
+    @given(job_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_more_units_never_hurt(self, case):
+        jobs, total_units = case
+        small = MalleableScheduler(total_units).schedule(jobs)
+        large = MalleableScheduler(total_units * 2).schedule(jobs)
+        assert large.makespan_s <= small.makespan_s + 1e-9
+
+    @given(job_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_work_conservation(self, case):
+        """Total unit-seconds of the schedule equals the sum over jobs of
+        allotment x duration (no phantom work)."""
+        jobs, total_units = case
+        schedule = MalleableScheduler(total_units).schedule(jobs)
+        for placed in schedule.jobs:
+            assert placed.start_s >= 0
+            assert placed.units >= 1
+            assert placed.units <= total_units

@@ -1,0 +1,63 @@
+"""Tests for the cluster configuration (Table 1 parameters)."""
+
+import pytest
+
+from repro.mapreduce.config import (
+    PAPER_CLUSTER,
+    PAPER_CLUSTER_KP64,
+    ClusterConfig,
+    HadoopParameters,
+)
+from repro.utils import MB
+
+
+class TestHadoopParameters:
+    """Table 1: the paper's Hadoop parameter configuration ("Set" column)."""
+
+    def test_table1_defaults(self):
+        params = HadoopParameters()
+        assert params.fs_block_size == 64 * MB
+        assert params.io_sort_mb == 512
+        assert params.io_sort_record_percentage == 0.1
+        assert params.io_sort_spill_percentage == 0.9
+        assert params.io_sort_factor == 300
+        assert params.dfs_replication == 3
+
+    def test_spill_threshold(self):
+        params = HadoopParameters()
+        assert params.spill_threshold_bytes == 512 * MB * 0.9
+
+
+class TestClusterConfig:
+    def test_paper_cluster_has_96_units(self):
+        # 13 nodes, one master, 8 cores per worker: kP = 96 (Figures 9/12).
+        assert PAPER_CLUSTER.total_units == 96
+
+    def test_testdfsio_rates(self):
+        # Section 6.1: writing 14.69 MB/s, reading 74.26 MB/s.
+        assert PAPER_CLUSTER.disk_read_mb_s == pytest.approx(74.26)
+        assert PAPER_CLUSTER.disk_write_mb_s == pytest.approx(14.69)
+
+    def test_with_units_caps_total(self):
+        assert PAPER_CLUSTER_KP64.total_units == 64
+        for units in (1, 5, 16, 50, 96):
+            assert PAPER_CLUSTER.with_units(units).total_units <= units + 7
+            assert PAPER_CLUSTER.with_units(units).total_units >= units - 7
+
+    def test_with_units_preserves_rates(self):
+        small = PAPER_CLUSTER.with_units(8)
+        assert small.disk_read_mb_s == PAPER_CLUSTER.disk_read_mb_s
+        assert small.network_mb_s == PAPER_CLUSTER.network_mb_s
+
+    def test_with_units_rejects_zero(self):
+        with pytest.raises(ValueError):
+            PAPER_CLUSTER.with_units(0)
+
+    def test_with_noise(self):
+        noisy = PAPER_CLUSTER.with_noise(0.1)
+        assert noisy.noise_sigma == 0.1
+        assert PAPER_CLUSTER.noise_sigma == 0.0  # original untouched
+
+    def test_byte_rates(self):
+        config = ClusterConfig()
+        assert config.disk_read_bytes_s == config.disk_read_mb_s * MB

@@ -1,0 +1,322 @@
+"""Tests for histograms and closed-form theta selectivity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.histogram import (
+    Bucket,
+    ClosedFormSelectivityEstimator,
+    Histogram,
+    equality_join_selectivity,
+    range_join_selectivity,
+)
+from repro.relational.predicates import JoinPredicate, ThetaOp
+from repro.relational.statistics import (
+    SelectivityEstimator,
+    StatisticsCatalog,
+    compute_column_stats,
+)
+from repro.workloads.synthetic import uniform_relation
+from repro.utils import make_rng
+
+
+def brute_force(left_values, right_values, op, shift=0.0):
+    """Exact match fraction by nested loop."""
+    hits = sum(
+        1
+        for x in left_values
+        for y in right_values
+        if op.evaluate(x, y + shift)
+    )
+    return hits / (len(left_values) * len(right_values))
+
+
+class TestBucket:
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(SchemaError):
+            Bucket(2.0, 1.0, 0.5)
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(SchemaError):
+            Bucket(0.0, 1.0, -0.1)
+
+    def test_atom(self):
+        assert Bucket(3.0, 3.0, 1.0).is_atom
+        assert not Bucket(3.0, 4.0, 1.0).is_atom
+
+    def test_shift(self):
+        bucket = Bucket(1.0, 2.0, 0.5).shifted(10.0)
+        assert (bucket.lo, bucket.hi, bucket.mass) == (11.0, 12.0, 0.5)
+
+
+class TestConstruction:
+    def test_masses_normalised(self):
+        hist = Histogram([Bucket(0, 1, 2.0), Bucket(1, 2, 2.0)])
+        assert sum(b.mass for b in hist.buckets) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Histogram([])
+
+    def test_overlapping_buckets_rejected(self):
+        with pytest.raises(SchemaError):
+            Histogram([Bucket(0, 2, 1.0), Bucket(1, 3, 1.0)])
+
+    def test_equi_width_on_constant_column(self):
+        hist = Histogram.equi_width([5.0] * 100, buckets=8)
+        assert len(hist.buckets) == 1
+        assert hist.buckets[0].is_atom
+        assert hist.distinct == 1
+
+    def test_equi_depth_on_constant_column(self):
+        hist = Histogram.equi_depth([5.0] * 100, buckets=8)
+        assert hist.fraction_below(5.0, inclusive=True) == pytest.approx(1.0)
+        assert hist.fraction_below(5.0, inclusive=False) == pytest.approx(0.0)
+
+    def test_from_values_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Histogram.equi_width([], buckets=4)
+        with pytest.raises(SchemaError):
+            Histogram.equi_depth([], buckets=4)
+
+    def test_from_column_stats_roundtrip(self):
+        values = list(range(1000))
+        stats = compute_column_stats("v", values, buckets=16)
+        hist = Histogram.from_column_stats(stats)
+        assert hist.min_value == 0
+        assert hist.max_value == 999
+        assert hist.distinct == 1000
+
+
+class TestFractionBelow:
+    def test_matches_ecdf_uniform(self):
+        rng = make_rng("hist-ecdf")
+        values = [rng.uniform(0, 100) for _ in range(2000)]
+        for hist in (
+            Histogram.equi_width(values, buckets=20),
+            Histogram.equi_depth(values, buckets=20),
+        ):
+            for probe in (10.0, 33.0, 50.0, 90.0):
+                exact = sum(1 for v in values if v < probe) / len(values)
+                assert hist.fraction_below(probe) == pytest.approx(exact, abs=0.08)
+
+    def test_monotone(self):
+        values = [1.0, 2.0, 2.0, 3.0, 10.0, 20.0]
+        hist = Histogram.equi_depth(values, buckets=3)
+        probes = [0.0, 1.0, 2.0, 5.0, 15.0, 25.0]
+        fractions = [hist.fraction_below(p) for p in probes]
+        assert fractions == sorted(fractions)
+
+    def test_bounds(self):
+        hist = Histogram.equi_width([1.0, 2.0, 3.0], buckets=2)
+        assert hist.fraction_below(0.0) == 0.0
+        assert hist.fraction_below(100.0) == 1.0
+
+
+class TestProbLess:
+    def test_disjoint_intervals(self):
+        x = Bucket(0, 1, 1.0)
+        y = Bucket(2, 3, 1.0)
+        assert range_join_selectivity(
+            Histogram([x]), Histogram([y]), ThetaOp.LT
+        ) == pytest.approx(1.0)
+        assert range_join_selectivity(
+            Histogram([y]), Histogram([x]), ThetaOp.LT
+        ) == pytest.approx(0.0)
+
+    def test_identical_intervals_half(self):
+        """P[X < Y] = 1/2 for iid uniforms."""
+        x = Histogram([Bucket(0, 10, 1.0)])
+        assert range_join_selectivity(x, x, ThetaOp.LT) == pytest.approx(0.5)
+        assert range_join_selectivity(x, x, ThetaOp.GT) == pytest.approx(0.5)
+
+    def test_atoms_strict_vs_nonstrict(self):
+        atom = Histogram([Bucket(5, 5, 1.0)])
+        assert range_join_selectivity(atom, atom, ThetaOp.LT) == 0.0
+        assert range_join_selectivity(atom, atom, ThetaOp.LE) == 1.0
+        assert range_join_selectivity(atom, atom, ThetaOp.GE) == 1.0
+        assert range_join_selectivity(atom, atom, ThetaOp.GT) == 0.0
+
+    def test_atom_against_interval(self):
+        atom = Histogram([Bucket(5, 5, 1.0)])
+        interval = Histogram([Bucket(0, 10, 1.0)])
+        assert range_join_selectivity(atom, interval, ThetaOp.LT) == pytest.approx(0.5)
+        assert range_join_selectivity(interval, atom, ThetaOp.LT) == pytest.approx(0.5)
+
+    def test_shift_moves_probability(self):
+        x = Histogram([Bucket(0, 10, 1.0)])
+        no_shift = range_join_selectivity(x, x, ThetaOp.LT, shift=0.0)
+        up = range_join_selectivity(x, x, ThetaOp.LT, shift=5.0)
+        down = range_join_selectivity(x, x, ThetaOp.LT, shift=-5.0)
+        assert down < no_shift < up
+
+
+class TestEquality:
+    def test_uniform_distinct(self):
+        """Two aligned uniform columns with d distinct values: sel = 1/d."""
+        values = [float(v) for v in range(100)]
+        hist = Histogram.equi_depth(values, buckets=10)
+        sel = equality_join_selectivity(hist, hist)
+        assert sel == pytest.approx(0.01, rel=0.35)
+
+    def test_disjoint_ranges_zero(self):
+        left = Histogram([Bucket(0, 1, 1.0)], distinct=10)
+        right = Histogram([Bucket(5, 6, 1.0)], distinct=10)
+        assert equality_join_selectivity(left, right) == 0.0
+
+    def test_matching_atoms(self):
+        atom = Histogram([Bucket(7, 7, 1.0)], distinct=1)
+        assert equality_join_selectivity(atom, atom) == pytest.approx(1.0)
+
+    def test_ne_is_complement(self):
+        values = [float(v) for v in range(50)]
+        hist = Histogram.equi_depth(values, buckets=8)
+        eq = range_join_selectivity(hist, hist, ThetaOp.EQ)
+        ne = range_join_selectivity(hist, hist, ThetaOp.NE)
+        assert eq + ne == pytest.approx(1.0)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("op", [ThetaOp.LT, ThetaOp.LE, ThetaOp.GT, ThetaOp.GE])
+    def test_uniform_data(self, op):
+        rng = make_rng("hist-brute", op.value)
+        left = [rng.uniform(0, 100) for _ in range(400)]
+        right = [rng.uniform(20, 140) for _ in range(400)]
+        exact = brute_force(left, right, op)
+        est = range_join_selectivity(
+            Histogram.equi_depth(left, 16), Histogram.equi_depth(right, 16), op
+        )
+        assert est == pytest.approx(exact, abs=0.05)
+
+    @pytest.mark.parametrize("shift", [-30.0, 0.0, 30.0])
+    def test_shifted_window(self, shift):
+        rng = make_rng("hist-brute-shift", shift)
+        left = [rng.uniform(0, 100) for _ in range(300)]
+        right = [rng.uniform(0, 100) for _ in range(300)]
+        exact = brute_force(left, right, ThetaOp.LT, shift=shift)
+        est = range_join_selectivity(
+            Histogram.equi_depth(left, 16),
+            Histogram.equi_depth(right, 16),
+            ThetaOp.LT,
+            shift=shift,
+        )
+        assert est == pytest.approx(exact, abs=0.05)
+
+    def test_skewed_data(self):
+        rng = make_rng("hist-brute-skew")
+        left = [rng.expovariate(0.05) for _ in range(500)]
+        right = [rng.expovariate(0.02) for _ in range(500)]
+        exact = brute_force(left, right, ThetaOp.LT)
+        est = range_join_selectivity(
+            Histogram.equi_depth(left, 24), Histogram.equi_depth(right, 24),
+            ThetaOp.LT,
+        )
+        assert est == pytest.approx(exact, abs=0.06)
+
+
+class TestClosedFormEstimator:
+    def make_catalog(self):
+        catalog = StatisticsCatalog()
+        catalog.add_relation(uniform_relation("L", 1500, value_range=1000, seed=1))
+        catalog.add_relation(uniform_relation("R", 1500, value_range=1000, seed=2))
+        return catalog
+
+    def test_range_close_to_truth(self):
+        catalog = self.make_catalog()
+        estimator = ClosedFormSelectivityEstimator(catalog)
+        predicate = JoinPredicate.parse("l.v0 < r.v0")
+        sel = estimator.predicate_selectivity(predicate, "L", "R")
+        assert sel == pytest.approx(0.5, abs=0.05)
+
+    def test_never_worse_than_midpoint_on_uniform(self):
+        catalog = self.make_catalog()
+        closed = ClosedFormSelectivityEstimator(catalog)
+        stock = SelectivityEstimator(catalog)
+        predicate = JoinPredicate.parse("l.v0 <= r.v0 + 100")
+        truth = 0.5 + 0.1 - 0.1 * 0.1 / 2  # P[u <= v + 0.1R] for uniforms
+        closed_err = abs(closed.predicate_selectivity(predicate, "L", "R") - truth)
+        stock_err = abs(stock.predicate_selectivity(predicate, "L", "R") - truth)
+        assert closed_err <= stock_err + 0.02
+
+    def test_equality_delegates_to_parent(self):
+        catalog = self.make_catalog()
+        closed = ClosedFormSelectivityEstimator(catalog)
+        stock = SelectivityEstimator(catalog)
+        predicate = JoinPredicate.parse("l.v0 = r.v0")
+        assert closed.predicate_selectivity(
+            predicate, "L", "R"
+        ) == stock.predicate_selectivity(predicate, "L", "R")
+
+    def test_histogram_cache_reused(self):
+        catalog = self.make_catalog()
+        estimator = ClosedFormSelectivityEstimator(catalog)
+        predicate = JoinPredicate.parse("l.v0 < r.v0")
+        estimator.predicate_selectivity(predicate, "L", "R")
+        first = dict(estimator._histograms)
+        estimator.predicate_selectivity(predicate, "L", "R")
+        assert estimator._histograms == first
+
+
+# ---------------------------------------------------------------------------
+# Property-based
+# ---------------------------------------------------------------------------
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=200,
+)
+
+
+class TestProperties:
+    @given(values_strategy, st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_equi_depth_mass_sums_to_one(self, values, buckets):
+        hist = Histogram.equi_depth(values, buckets=buckets)
+        assert sum(b.mass for b in hist.buckets) == pytest.approx(1.0)
+
+    @given(values_strategy, st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_equi_width_mass_sums_to_one(self, values, buckets):
+        hist = Histogram.equi_width(values, buckets=buckets)
+        assert sum(b.mass for b in hist.buckets) == pytest.approx(1.0)
+
+    @given(values_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_fraction_below_is_monotone_cdf(self, values):
+        hist = Histogram.equi_depth(values, buckets=10)
+        lo, hi = hist.min_value, hist.max_value
+        probes = sorted([lo - 1, lo, (lo + hi) / 2, hi, hi + 1])
+        fractions = [hist.fraction_below(p) for p in probes]
+        assert fractions == sorted(fractions)
+        assert 0.0 <= min(fractions) and max(fractions) <= 1.0
+
+    @given(values_strategy, values_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_lt_and_ge_complement(self, left_values, right_values):
+        left = Histogram.equi_depth(left_values, buckets=8)
+        right = Histogram.equi_depth(right_values, buckets=8)
+        lt = range_join_selectivity(left, right, ThetaOp.LT)
+        ge = range_join_selectivity(left, right, ThetaOp.GE)
+        assert lt + ge == pytest.approx(1.0, abs=1e-9)
+
+    @given(values_strategy, values_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_swapping_sides_mirrors_operator(self, left_values, right_values):
+        left = Histogram.equi_depth(left_values, buckets=8)
+        right = Histogram.equi_depth(right_values, buckets=8)
+        assert range_join_selectivity(
+            left, right, ThetaOp.LT
+        ) == pytest.approx(
+            range_join_selectivity(right, left, ThetaOp.GT), abs=1e-9
+        )
+
+    @given(values_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_selectivities_in_unit_interval(self, values):
+        hist = Histogram.equi_depth(values, buckets=8)
+        for op in ThetaOp:
+            sel = range_join_selectivity(hist, hist, op)
+            assert 0.0 <= sel <= 1.0

@@ -1,0 +1,169 @@
+"""Tests for CSV/TSV relation I/O."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.io import infer_schema, read_relation, write_relation
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def write(tmp_path, text, name="data.csv"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestInference:
+    def test_int_column(self):
+        schema = infer_schema(["a"], [["1"], ["2"], ["-3"]])
+        assert schema.fields[0].kind == "int"
+
+    def test_float_promotion(self):
+        schema = infer_schema(["a"], [["1"], ["2.5"]])
+        assert schema.fields[0].kind == "float"
+
+    def test_str_fallback(self):
+        schema = infer_schema(["a"], [["1"], ["two"]])
+        assert schema.fields[0].kind == "str"
+
+    def test_empty_cells_ignored_for_inference(self):
+        schema = infer_schema(["a"], [[""], ["7"]])
+        assert schema.fields[0].kind == "int"
+
+    def test_all_empty_column_is_str(self):
+        schema = infer_schema(["a"], [[""], [""]])
+        assert schema.fields[0].kind == "str"
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_schema([], [])
+
+
+class TestRead:
+    def test_basic_roundtrip_types(self, tmp_path):
+        path = write(tmp_path, "id,score,label\n1,2.5,x\n2,3.0,y\n")
+        relation = read_relation(path)
+        assert relation.name == "data"
+        assert relation.schema.names == ("id", "score", "label")
+        assert relation.rows == [(1, 2.5, "x"), (2, 3.0, "y")]
+
+    def test_explicit_schema(self, tmp_path):
+        path = write(tmp_path, "id,v\n1,2\n")
+        schema = Schema.of("id:int", "v:float")
+        relation = read_relation(path, schema=schema)
+        assert relation.rows == [(1, 2.0)]
+
+    def test_schema_header_mismatch(self, tmp_path):
+        path = write(tmp_path, "id,wrong\n1,2\n")
+        with pytest.raises(SchemaError, match="does not match"):
+            read_relation(path, schema=Schema.of("id:int", "v:int"))
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = write(tmp_path, "a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match=":3:"):
+            read_relation(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = write(tmp_path, "")
+        with pytest.raises(SchemaError, match="empty"):
+            read_relation(path)
+
+    def test_empty_cells_become_none(self, tmp_path):
+        path = write(tmp_path, "a,b\n1,\n,x\n")
+        relation = read_relation(path)
+        assert relation.rows[0][1] is None
+        assert relation.rows[1][0] is None
+
+    def test_tsv(self, tmp_path):
+        path = write(tmp_path, "a\tb\n1\t2\n", name="data.tsv")
+        relation = read_relation(path, delimiter="\t")
+        assert relation.rows == [(1, 2)]
+
+
+class TestWrite:
+    def test_roundtrip(self, tmp_path):
+        original = Relation(
+            "r", Schema.of("id:int", "v:float", "s:str"),
+            [(1, 1.5, "a"), (2, 2.5, "b,with,commas")],
+        )
+        path = write_relation(original, tmp_path / "out" / "r.csv")
+        back = read_relation(path, name="r")
+        assert back.rows == original.rows
+        assert back.schema.names == original.schema.names
+
+    def test_none_roundtrips_as_empty(self, tmp_path):
+        original = Relation("r", Schema.of("a:int", "b:str"), [(1, None)])
+        path = write_relation(original, tmp_path / "r.csv")
+        back = read_relation(path)
+        assert back.rows[0][1] is None
+
+
+class TestEndToEnd:
+    def test_csv_relations_joinable(self, tmp_path):
+        """Load two CSV files and run the paper's planner over them."""
+        from repro.core.executor import PlanExecutor
+        from repro.core.planner import ThetaJoinPlanner
+        from repro.joins.reference import reference_join
+        from repro.mapreduce.config import ClusterConfig
+        from repro.mapreduce.runtime import SimulatedCluster
+        from repro.relational.predicates import JoinCondition
+        from repro.relational.query import JoinQuery
+
+        left = write(
+            tmp_path,
+            "id,ts\n" + "".join(f"{i},{i * 3 % 17}\n" for i in range(20)),
+            name="left.csv",
+        )
+        right = write(
+            tmp_path,
+            "id,ts\n" + "".join(f"{i},{i * 5 % 13}\n" for i in range(20)),
+            name="right.csv",
+        )
+        query = JoinQuery(
+            "csv-join",
+            {"a": read_relation(left), "b": read_relation(right)},
+            [JoinCondition.parse(1, "a.ts < b.ts")],
+        )
+        config = ClusterConfig().with_units(4)
+        plan = ThetaJoinPlanner(config).plan(query)
+        outcome = PlanExecutor(SimulatedCluster(config)).execute(plan, query)
+        assert outcome.report.output_records == len(reference_join(query))
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-10**9, max_value=10**9),
+                st.floats(
+                    min_value=-1e6, max_value=1e6,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                st.text(
+                    alphabet=st.characters(
+                        min_codepoint=32, max_codepoint=126,
+                        blacklist_characters=',"\r\n',
+                    ),
+                    max_size=12,
+                ),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_write_read_roundtrip(self, rows):
+        import tempfile
+        from pathlib import Path
+
+        schema = Schema.of("i:int", "f:float", "s:str")
+        # Empty strings round-trip as None by design; normalise them.
+        rows = [(i, f, s if s else "x") for i, f, s in rows]
+        original = Relation("r", schema, rows)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_relation(original, Path(tmp) / "r.csv")
+            back = read_relation(path, schema=schema)
+        assert back.rows == original.rows

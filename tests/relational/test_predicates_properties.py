@@ -1,0 +1,127 @@
+"""Property-based tests for theta-predicate algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.predicates import (
+    AttrRef,
+    JoinCondition,
+    JoinPredicate,
+    ThetaOp,
+)
+
+ops = st.sampled_from(list(ThetaOp))
+values = st.integers(min_value=-1000, max_value=1000)
+offsets = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def predicates(draw):
+    return JoinPredicate(
+        AttrRef("l", "x", offset=float(draw(offsets))),
+        draw(ops),
+        AttrRef("r", "y", offset=float(draw(offsets))),
+    )
+
+
+class TestOperatorAlgebra:
+    @given(ops)
+    def test_swapped_is_involution(self, op):
+        assert op.swapped().swapped() is op
+
+    @given(ops, values, values)
+    def test_swapped_semantics(self, op, a, b):
+        """a op b  <=>  b op.swapped() a."""
+        assert op.evaluate(a, b) == op.swapped().evaluate(b, a)
+
+    @given(ops)
+    def test_symbol_round_trip(self, op):
+        assert ThetaOp.from_symbol(op.symbol) is op
+
+    @given(values, values)
+    def test_exactly_one_of_lt_eq_gt(self, a, b):
+        holds = [
+            op for op in (ThetaOp.LT, ThetaOp.EQ, ThetaOp.GT) if op.evaluate(a, b)
+        ]
+        assert len(holds) == 1
+
+    @given(ops, values, values)
+    def test_le_ge_consistent_with_strict(self, op, a, b):
+        assert ThetaOp.LE.evaluate(a, b) == (
+            ThetaOp.LT.evaluate(a, b) or ThetaOp.EQ.evaluate(a, b)
+        )
+        assert ThetaOp.GE.evaluate(a, b) == (
+            ThetaOp.GT.evaluate(a, b) or ThetaOp.EQ.evaluate(a, b)
+        )
+        assert ThetaOp.NE.evaluate(a, b) == (not ThetaOp.EQ.evaluate(a, b))
+
+
+class TestPredicateAlgebra:
+    @given(predicates(), values, values)
+    @settings(max_examples=100, deadline=None)
+    def test_oriented_preserves_semantics(self, predicate, lv, rv):
+        """Re-orienting a predicate onto its right alias flips the sides
+        without changing its truth value on any assignment."""
+        flipped = predicate.oriented("r")
+        assert flipped.left.alias == "r"
+        # Original: evaluate(lv, rv); flipped reads (rv, lv).
+        assert predicate.evaluate_values(lv, rv) == flipped.evaluate_values(rv, lv)
+
+    @given(predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_oriented_to_own_side_is_identity(self, predicate):
+        assert predicate.oriented("l") is predicate
+
+    @given(predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_parse_round_trip(self, predicate):
+        reparsed = JoinPredicate.parse(str(predicate))
+        assert reparsed.op is predicate.op
+        assert reparsed.left.alias == predicate.left.alias
+        assert reparsed.right.alias == predicate.right.alias
+        assert reparsed.left.offset == predicate.left.offset
+        assert reparsed.right.offset == predicate.right.offset
+
+    @given(predicates(), values, values)
+    @settings(max_examples=80, deadline=None)
+    def test_offsets_shift_the_comparison(self, predicate, lv, rv):
+        """Evaluating with offsets equals evaluating shifted raw values
+        with a zero-offset predicate."""
+        bare = JoinPredicate(
+            AttrRef("l", "x"), predicate.op, AttrRef("r", "y")
+        )
+        assert predicate.evaluate_values(lv, rv) == bare.evaluate_values(
+            lv + predicate.left.offset, rv + predicate.right.offset
+        )
+
+
+class TestConditionAlgebra:
+    @given(
+        st.lists(predicates(), min_size=1, max_size=4),
+        values,
+        values,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_condition_is_conjunction(self, preds, lv, rv):
+        from repro.relational.schema import Schema
+
+        condition = JoinCondition(1, preds)
+        schema = Schema.of("x:int", "y:int")
+        rows = {"l": (lv, lv), "r": (rv, rv)}
+        schemas = {"l": schema, "r": schema}
+        expected = all(
+            p.evaluate_values(
+                rows["l"][0 if p.left.attr == "x" else 1],
+                rows["r"][0 if p.right.attr == "x" else 1],
+            )
+            for p in preds
+        )
+        assert condition.evaluate(rows, schemas) == expected
+
+    @given(st.lists(predicates(), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_alias_pair_recorded_sorted(self, preds):
+        condition = JoinCondition(3, preds)
+        assert condition.aliases == ("l", "r")
+        assert condition.touches("l") and condition.touches("r")
+        assert condition.other_alias("l") == "r"

@@ -1,0 +1,131 @@
+"""Tests for the SQL-ish query front end."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.sql import parse_join_query
+from repro.utils import make_rng
+
+
+@pytest.fixture
+def tables():
+    rng = make_rng("sql-test")
+    schema = Schema.of("id:int", "bt:int", "l:int", "bsc:int", "d:int")
+    rows = [
+        (i, rng.randint(0, 100), rng.randint(1, 50), rng.randint(0, 5),
+         rng.randint(1, 10))
+        for i in range(20)
+    ]
+    return {"table": Relation("table", schema, rows)}
+
+
+class TestParsing:
+    def test_paper_q1(self, tables):
+        """The paper's Q1, verbatim modulo whitespace."""
+        query = parse_join_query(
+            "SELECT t3.id FROM table t1, table t2, table t3 WHERE "
+            "t1.bt <= t2.bt AND t1.l >= t2.l AND t2.bsc = t3.bsc AND t2.d = t3.d",
+            tables,
+            name="q1",
+        )
+        assert query.aliases == ("t1", "t2", "t3")
+        assert len(query.conditions) == 2  # grouped per relation pair
+        assert query.projection == (("t3", "id"),)
+
+    def test_offsets_parsed(self, tables):
+        query = parse_join_query(
+            "SELECT t1.id FROM table t1, table t2 WHERE t1.d + 3 > t2.d",
+            tables,
+        )
+        predicate = query.conditions[0].predicates[0]
+        assert predicate.left.offset == 3
+
+    def test_ne_and_unequal_synonyms(self, tables):
+        for operator in ("!=", "<>"):
+            query = parse_join_query(
+                f"SELECT t1.id FROM table t1, table t2 WHERE t1.bsc {operator} t2.bsc",
+                tables,
+            )
+            assert query.conditions[0].predicates[0].op.symbol == "!="
+
+    def test_star_projection(self, tables):
+        query = parse_join_query(
+            "SELECT * FROM table t1, table t2 WHERE t1.bt < t2.bt", tables
+        )
+        assert query.projection is None
+
+    def test_commas_as_and(self, tables):
+        query = parse_join_query(
+            "SELECT t1.id FROM table t1, table t2 "
+            "WHERE t1.bt <= t2.bt, t1.l >= t2.l",
+            tables,
+        )
+        assert len(query.conditions[0].predicates) == 2
+
+    def test_trailing_semicolon(self, tables):
+        query = parse_join_query(
+            "SELECT t1.id FROM table t1, table t2 WHERE t1.bt < t2.bt;", tables
+        )
+        assert query.aliases == ("t1", "t2")
+
+
+class TestErrors:
+    def test_not_a_select(self, tables):
+        with pytest.raises(QueryError):
+            parse_join_query("DELETE FROM table", tables)
+
+    def test_missing_where(self, tables):
+        with pytest.raises(QueryError):
+            parse_join_query("SELECT * FROM table t1, table t2", tables)
+
+    def test_unknown_relation(self, tables):
+        with pytest.raises(QueryError):
+            parse_join_query(
+                "SELECT * FROM ghost t1, table t2 WHERE t1.a < t2.b", tables
+            )
+
+    def test_duplicate_alias(self, tables):
+        with pytest.raises(QueryError):
+            parse_join_query(
+                "SELECT * FROM table t1, table t1 WHERE t1.bt < t1.bt", tables
+            )
+
+    def test_unknown_alias_in_predicate(self, tables):
+        with pytest.raises(QueryError):
+            parse_join_query(
+                "SELECT * FROM table t1, table t2 WHERE t1.bt < zz.bt", tables
+            )
+
+    def test_bad_select_item(self, tables):
+        with pytest.raises(QueryError):
+            parse_join_query(
+                "SELECT nope FROM table t1, table t2 WHERE t1.bt < t2.bt",
+                tables,
+            )
+
+    def test_single_relation_rejected(self, tables):
+        with pytest.raises(QueryError):
+            parse_join_query("SELECT * FROM table t1 WHERE t1.bt < t1.l", tables)
+
+
+class TestEndToEnd:
+    def test_parsed_query_executes_correctly(self, tables):
+        from repro.core.executor import PlanExecutor
+        from repro.core.planner import ThetaJoinPlanner
+        from repro.joins.reference import join_result_signature, reference_join
+        from repro.mapreduce.config import ClusterConfig
+        from repro.mapreduce.runtime import SimulatedCluster
+
+        query = parse_join_query(
+            "SELECT t1.id, t2.id FROM table t1, table t2, table t3 WHERE "
+            "t1.bt <= t2.bt AND t2.bsc = t3.bsc",
+            tables,
+        )
+        config = ClusterConfig()
+        plan = ThetaJoinPlanner(config).plan(query)
+        outcome = PlanExecutor(SimulatedCluster(config)).execute(plan, query)
+        assert join_result_signature(outcome.composites) == join_result_signature(
+            reference_join(query)
+        )

@@ -1,0 +1,97 @@
+"""Property-based tests for the SQL-ish front end (Section 6.3.1 dialect)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.predicates import ThetaOp
+from repro.relational.sql import parse_join_query
+from repro.workloads.synthetic import uniform_relation
+
+OPS = [op.symbol for op in ThetaOp]
+ATTRS = ["v0", "v1"]
+
+
+@st.composite
+def sql_queries(draw):
+    """A random chain query rendered in the paper's SQL-like style."""
+    num_relations = draw(st.integers(min_value=2, max_value=5))
+    aliases = [f"t{i + 1}" for i in range(num_relations)]
+    predicates = []
+    rendered = []
+    for index in range(num_relations - 1):
+        left, right = aliases[index], aliases[index + 1]
+        op = draw(st.sampled_from(OPS))
+        left_attr = draw(st.sampled_from(ATTRS))
+        right_attr = draw(st.sampled_from(ATTRS))
+        offset = draw(st.integers(min_value=-9, max_value=9))
+        suffix = f" + {offset}" if offset > 0 else (f" - {-offset}" if offset < 0 else "")
+        rendered.append(f"{left}.{left_attr} {op} {right}.{right_attr}{suffix}")
+        predicates.append((left, left_attr, op, right, right_attr, float(offset)))
+    connector = draw(st.sampled_from([" AND ", ", ", " and "]))
+    select = draw(st.sampled_from(["*", f"{aliases[0]}.v0", f"{aliases[-1]}.v1, {aliases[0]}.v0"]))
+    sql = (
+        f"SELECT {select} FROM "
+        + ", ".join(f"rel {alias}" for alias in aliases)
+        + " WHERE "
+        + connector.join(rendered)
+    )
+    return sql, aliases, predicates, select
+
+
+class TestParseProperties:
+    @given(sql_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_aliases_and_conditions_recovered(self, case):
+        sql, aliases, predicates, _select = case
+        relations = {"rel": uniform_relation("rel", 10)}
+        query = parse_join_query(sql, relations)
+        assert sorted(query.aliases) == sorted(aliases)
+        parsed = [
+            predicate
+            for condition in query.conditions
+            for predicate in condition.predicates
+        ]
+        assert len(parsed) == len(predicates)
+
+    @given(sql_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_operators_and_offsets_preserved(self, case):
+        sql, _aliases, predicates, _select = case
+        relations = {"rel": uniform_relation("rel", 10)}
+        query = parse_join_query(sql, relations)
+        parsed = {
+            (p.left.alias, p.left.attr, p.op.symbol, p.right.alias,
+             p.right.attr, p.right.offset - p.left.offset)
+            for c in query.conditions
+            for p in c.predicates
+        }
+        expected = {
+            # The renderer puts the offset on the right side.
+            (l, la, {"<>": "!="}.get(op, op), r, ra, off)
+            for l, la, op, r, ra, off in predicates
+        }
+        assert parsed == expected
+
+    @given(sql_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_projection_parsed(self, case):
+        sql, _aliases, _predicates, select = case
+        relations = {"rel": uniform_relation("rel", 10)}
+        query = parse_join_query(sql, relations)
+        if select == "*":
+            assert query.projection is None
+        else:
+            expected = [
+                tuple(item.strip().split(".")) for item in select.split(",")
+            ]
+            assert list(query.projection) == [(a, f) for a, f in expected]
+
+    @given(sql_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_conditions_group_by_relation_pair(self, case):
+        """Predicates between the same pair collapse into one edge."""
+        sql, _aliases, _predicates, _select = case
+        relations = {"rel": uniform_relation("rel", 10)}
+        query = parse_join_query(sql, relations)
+        pairs = [frozenset(c.aliases) for c in query.conditions]
+        assert len(pairs) == len(set(pairs))

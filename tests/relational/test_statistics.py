@@ -1,0 +1,134 @@
+"""Tests for column statistics and theta selectivity estimation."""
+
+import pytest
+
+from repro.relational.predicates import JoinCondition, JoinPredicate
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.statistics import (
+    SelectivityEstimator,
+    StatisticsCatalog,
+    compute_column_stats,
+    compute_relation_stats,
+)
+from repro.utils import make_rng
+
+
+def uniform_rel(name: str, n: int, hi: int = 1000, seed: int = 0) -> Relation:
+    rng = make_rng("stats-test", name, seed)
+    schema = Schema.of("id:int", "v:int")
+    return Relation(name, schema, [(i, rng.randint(0, hi - 1)) for i in range(n)])
+
+
+class TestColumnStats:
+    def test_min_max_count_distinct(self):
+        stats = compute_column_stats("v", [5, 1, 9, 1, 3])
+        assert stats.min_value == 1
+        assert stats.max_value == 9
+        assert stats.count == 5
+        assert stats.distinct == 4
+
+    def test_fraction_below_extremes(self):
+        stats = compute_column_stats("v", list(range(100)))
+        assert stats.fraction_below(-1, inclusive=False) == 0.0
+        assert stats.fraction_below(1000, inclusive=True) == 1.0
+
+    def test_fraction_below_midpoint(self):
+        stats = compute_column_stats("v", list(range(100)))
+        mid = stats.fraction_below(50, inclusive=False)
+        assert 0.4 < mid < 0.6
+
+    def test_fraction_below_monotone(self):
+        stats = compute_column_stats("v", [make_rng("m", i).randint(0, 99) for i in range(200)])
+        fracs = [stats.fraction_below(x, inclusive=False) for x in range(0, 100, 5)]
+        assert fracs == sorted(fracs)
+
+    def test_empty_column(self):
+        stats = compute_column_stats("v", [])
+        assert stats.count == 0
+        assert stats.fraction_below(5, inclusive=True) == 0.0
+
+    def test_string_column_rank_transform(self):
+        stats = compute_column_stats("v", ["b", "a", "c", "a"])
+        assert stats.distinct == 3
+        assert stats.count == 4
+
+
+class TestRelationStats:
+    def test_exact_cardinality_with_sampling(self):
+        relation = uniform_rel("R", 5000)
+        stats = compute_relation_stats(relation, sample_size=100)
+        assert stats.cardinality == 5000
+        assert stats.size_bytes == relation.size_bytes
+
+    def test_all_columns_covered(self):
+        relation = uniform_rel("R", 50)
+        stats = compute_relation_stats(relation)
+        assert set(stats.columns) == {"id", "v"}
+
+
+class TestSelectivityEstimator:
+    @pytest.fixture
+    def estimator(self):
+        catalog = StatisticsCatalog()
+        catalog.add_relation(uniform_rel("L", 2000))
+        catalog.add_relation(uniform_rel("R", 2000, seed=1))
+        return catalog, SelectivityEstimator(catalog)
+
+    def _true_selectivity(self, predicate, left, right):
+        hits = 0
+        for lrow in left:
+            for rrow in right:
+                if predicate.evaluate_values(lrow[1], rrow[1]):
+                    hits += 1
+        return hits / (len(left) * len(right))
+
+    @pytest.mark.parametrize("text", ["a.v < b.v", "a.v >= b.v", "a.v <= b.v"])
+    def test_range_estimates_close_to_truth(self, estimator, text):
+        catalog, est = estimator
+        predicate = JoinPredicate.parse(text)
+        approx = est.predicate_selectivity(predicate, "L", "R")
+        assert abs(approx - 0.5) < 0.1
+
+    def test_offset_shifts_selectivity(self, estimator):
+        catalog, est = estimator
+        no_shift = est.predicate_selectivity(
+            JoinPredicate.parse("a.v < b.v"), "L", "R"
+        )
+        shifted = est.predicate_selectivity(
+            JoinPredicate.parse("a.v + 500 < b.v"), "L", "R"
+        )
+        assert shifted < no_shift
+
+    def test_eq_small(self, estimator):
+        catalog, est = estimator
+        sel = est.predicate_selectivity(JoinPredicate.parse("a.v = b.v"), "L", "R")
+        assert 0 < sel < 0.01
+
+    def test_ne_complements_eq(self, estimator):
+        catalog, est = estimator
+        eq = est.predicate_selectivity(JoinPredicate.parse("a.v = b.v"), "L", "R")
+        ne = est.predicate_selectivity(JoinPredicate.parse("a.v != b.v"), "L", "R")
+        assert abs((eq + ne) - 1.0) < 1e-9
+
+    def test_condition_selectivity_multiplies(self, estimator):
+        catalog, est = estimator
+        condition = JoinCondition.parse(1, "a.v < b.v", "a.id >= b.id")
+        sel = est.condition_selectivity(condition, {"a": "L", "b": "R"})
+        lone = est.predicate_selectivity(JoinPredicate.parse("a.v < b.v"), "L", "R")
+        assert sel < lone
+
+    def test_disjoint_ranges_give_zero_eq(self):
+        catalog = StatisticsCatalog()
+        low = Relation("LOW", Schema.of("v:int"), [(i,) for i in range(100)])
+        high = Relation("HIGH", Schema.of("v:int"), [(i + 1000,) for i in range(100)])
+        catalog.add_relation(low)
+        catalog.add_relation(high)
+        est = SelectivityEstimator(catalog)
+        assert est.predicate_selectivity(
+            JoinPredicate.parse("a.v = b.v"), "LOW", "HIGH"
+        ) == 0.0
+        # And the range estimate knows LOW < HIGH always holds.
+        assert est.predicate_selectivity(
+            JoinPredicate.parse("a.v < b.v"), "LOW", "HIGH"
+        ) > 0.95

@@ -1,0 +1,126 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reporting.charts import bar_chart, line_chart, sparkline
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        chart = bar_chart(
+            "Fig 9 (Q1)",
+            ["20GB", "100GB"],
+            {"ours": [10.0, 50.0], "hive": [20.0, 100.0]},
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "Fig 9 (Q1)"
+        assert "20GB:" in chart and "100GB:" in chart
+        assert chart.count("|") == 4  # one bar line per (category, series)
+
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(
+            "t", ["c"], {"small": [1.0], "big": [10.0]}, width=40
+        )
+        small_line = next(l for l in chart.splitlines() if "small" in l)
+        big_line = next(l for l in chart.splitlines() if "big" in l)
+        assert big_line.count("#") == 40
+        assert 2 <= small_line.count("#") <= 6
+
+    def test_zero_values_have_no_bar(self):
+        chart = bar_chart("t", ["c"], {"zero": [0.0], "one": [5.0]})
+        zero_line = next(l for l in chart.splitlines() if "zero" in l)
+        assert "#" not in zero_line
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", [], {"a": []})
+        with pytest.raises(ValueError):
+            bar_chart("t", ["c1", "c2"], {"a": [1.0]})
+
+    def test_unit_suffix(self):
+        chart = bar_chart("t", ["c"], {"a": [3.0]}, unit="s")
+        assert "3s" in chart
+
+
+class TestLineChart:
+    def test_basic_shape(self):
+        chart = line_chart(
+            "Fig 6", [1, 2, 4, 8], {"time": [10.0, 6.0, 4.0, 5.0]},
+            height=8, width=30,
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "Fig 6"
+        assert "#=time" in lines[1]
+        # 8 grid rows + title + legend + axis + labels
+        assert len(lines) == 8 + 4
+
+    def test_extremes_annotated(self):
+        chart = line_chart("t", [1, 10], {"y": [5.0, 50.0]})
+        assert "50" in chart
+        assert "5" in chart
+        assert chart.splitlines()[-1].strip().startswith("1")
+
+    def test_marks_present_per_series(self):
+        chart = line_chart(
+            "t", [1, 2, 3],
+            {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+        )
+        grid = "\n".join(chart.splitlines()[2:])
+        assert "#" in grid and "*" in grid
+
+    def test_log_x(self):
+        chart = line_chart(
+            "t", [1, 10, 100, 1000], {"y": [1.0, 2.0, 3.0, 4.0]},
+            width=30, log_x=True,
+        )
+        # With log spacing the marks are evenly spread; the second point
+        # sits near a third of the width, not at 1%.
+        rows = chart.splitlines()[2:-2]
+        columns = sorted(
+            line.index("#") - line.index("|") - 1
+            for line in rows
+            if "#" in line
+        )
+        gaps = [b - a for a, b in zip(columns, columns[1:])]
+        assert max(gaps) - min(gaps) <= 2
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart("t", [0, 1], {"y": [1.0, 2.0]}, log_x=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart("t", [], {})
+        with pytest.raises(ValueError):
+            line_chart("t", [1, 2], {"y": [1.0]})
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart("t", [1, 2, 3], {"y": [5.0, 5.0, 5.0]})
+        assert "#" in chart
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_shape(self):
+        from repro.reporting.charts import BLOCKS
+
+        spark = sparkline([1, 2, 3, 4, 5])
+        assert len(spark) == 5
+        heights = [BLOCKS.index(c) for c in spark]
+        assert heights == sorted(heights)
+        assert heights[0] < heights[-1]
+
+    def test_flat(self):
+        spark = sparkline([3, 3, 3])
+        assert len(set(spark)) == 1
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_length_and_charset(self, values):
+        spark = sparkline(values)
+        assert len(spark) == len(values)
+        assert " " not in spark

@@ -1,0 +1,122 @@
+"""Tests for the result-table renderer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reporting.tables import ResultTable, _cell
+
+
+class TestConstruction:
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            ResultTable("t", [])
+
+    def test_arity_enforced(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+        with pytest.raises(ValueError):
+            table.add(1, 2, 3)
+
+    def test_len_counts_rows(self):
+        table = ResultTable("t", ["a"])
+        assert len(table) == 0
+        table.add(1)
+        table.add(2)
+        assert len(table) == 2
+
+    def test_column_access(self):
+        table = ResultTable("t", ["x", "y"])
+        table.add(1, "p")
+        table.add(2, "q")
+        assert table.column("x") == [1, 2]
+        assert table.column("y") == ["p", "q"]
+        with pytest.raises(KeyError):
+            table.column("z")
+
+
+class TestTextRendering:
+    def test_header_and_rows(self):
+        table = ResultTable("My title", ["name", "value"])
+        table.add("alpha", 10)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "My title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert "alpha" in lines[3]
+
+    def test_columns_stay_aligned(self):
+        table = ResultTable("t", ["short", "column"])
+        table.add("a-very-long-cell-value", 1)
+        table.add("b", 22222)
+        lines = table.render().splitlines()
+        # The numeric column starts at the same offset in every data row.
+        first = lines[3].index("1")
+        second = lines[4].index("22222")
+        assert first == second
+
+    def test_float_formatting(self):
+        assert _cell(1234.56) == "1235"
+        assert _cell(12.3456) == "12.3"
+        assert _cell(0.00123) == "0.00123"
+        assert _cell("text") == "text"
+        assert _cell(7) == "7"
+
+
+class TestMarkdownRendering:
+    def test_shape(self):
+        table = ResultTable("Result", ["a", "b"])
+        table.add(1, 2)
+        md = table.render_markdown()
+        lines = md.splitlines()
+        assert lines[0] == "**Result**"
+        assert lines[2] == "| a | b |"
+        assert lines[3] == "|---|---|"
+        assert lines[4] == "| 1 | 2 |"
+
+    def test_row_per_add(self):
+        table = ResultTable("t", ["a"])
+        for i in range(5):
+            table.add(i)
+        assert len(table.render_markdown().splitlines()) == 4 + 5
+
+
+class TestSave:
+    def test_save_text_and_markdown(self, tmp_path):
+        table = ResultTable("t", ["a"])
+        table.add(1)
+        text_path = tmp_path / "out" / "t.txt"
+        md_path = tmp_path / "out" / "t.md"
+        table.save(text_path)
+        table.save(md_path, markdown=True)
+        assert text_path.read_text().startswith("t\n")
+        assert md_path.read_text().startswith("**t**")
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                    min_size=1,
+                    max_size=8,
+                ),
+                st.integers(),
+                st.floats(allow_nan=False, allow_infinity=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_row_count_preserved_in_both_renderings(self, rows):
+        table = ResultTable("t", ["s", "i", "f"])
+        for row in rows:
+            table.add(*row)
+        # text: title + header + dashes + rows
+        assert len(table.render().splitlines()) == 3 + len(rows)
+        # markdown: title + blank + header + separator + rows
+        assert len(table.render_markdown().splitlines()) == 4 + len(rows)

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_query, cluster_config, main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_defaults(self):
+        args = make_parser().parse_args(["run"])
+        assert args.workload == "mobile"
+        assert args.method == "ours"
+        assert args.kp == 96
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["run", "--method", "spark"])
+
+
+class TestHelpers:
+    def test_build_query_mobile(self):
+        query = build_query("mobile", 1, 20, seed=0)
+        assert query.name == "mobile-Q1"
+
+    def test_build_query_tpch(self):
+        query = build_query("tpch", 17, 200, seed=0)
+        assert query.name == "tpch-Q17"
+
+    def test_build_query_unknown(self):
+        with pytest.raises(SystemExit):
+            build_query("spark", 1, 20, seed=0)
+
+    def test_cluster_config_kp(self):
+        assert cluster_config(96).total_units == 96
+        assert cluster_config(64).total_units == 64
+
+
+class TestCommands:
+    def test_plan_command(self, capsys):
+        assert main(["plan", "--workload", "mobile", "--query", "1",
+                     "--volume", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Plan mobile-Q1-ours" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "--workload", "mobile", "--query", "1",
+                     "--volume", "20", "--method", "hive"]) == 0
+        out = capsys.readouterr().out
+        assert "result rows" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--workload", "mobile", "--query", "1",
+                     "--volume", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "all methods agree" in out
+
+    def test_explain_command(self, capsys):
+        assert main(["explain", "--workload", "mobile", "--query", "1",
+                     "--volume", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Join graph GJ" in out
+        assert "G'JP:" in out
+        assert "Chosen plan" in out
+
+    def test_sql_command(self, capsys):
+        sql = ("SELECT t2.id FROM table t1, table t2 "
+               "WHERE t1.d = t2.d AND t1.bt <= t2.bt")
+        assert main(["sql", sql, "--workload", "mobile"]) == 0
+        out = capsys.readouterr().out
+        assert "result rows" in out
+        assert "adhoc" in out
+
+    def test_sql_command_tpch(self, capsys):
+        sql = ("SELECT l.orderkey FROM lineitem l, orders o "
+               "WHERE l.orderkey = o.orderkey AND l.shipdate >= o.orderdate")
+        assert main(["sql", sql, "--workload", "tpch", "--method", "hive"]) == 0
+        out = capsys.readouterr().out
+        assert "result rows" in out
+
+    def test_sql_rejects_bad_query(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            main(["sql", "DELETE FROM table", "--workload", "mobile"])
+
+
+class TestWorkloadRelations:
+    def test_mobile_names(self):
+        from repro.cli import workload_relations
+
+        relations = workload_relations("mobile", 20, seed=0)
+        assert set(relations) == {"table", "calls"}
+        assert relations["table"] is relations["calls"]
+
+    def test_tpch_names(self):
+        from repro.cli import workload_relations
+
+        relations = workload_relations("tpch", 0, seed=0)
+        assert "lineitem" in relations and "orders" in relations
+
+    def test_unknown_workload(self):
+        from repro.cli import workload_relations
+
+        with pytest.raises(SystemExit):
+            workload_relations("spark", 0, seed=0)

@@ -1,0 +1,91 @@
+"""Documentation-consistency guards.
+
+DESIGN.md maps paper pieces to modules and benchmarks; README.md lists
+examples.  These tests keep those maps honest: every referenced file
+must exist, and every example/benchmark must be documented.
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text(encoding="utf-8")
+
+
+class TestDesignReferences:
+    def test_referenced_modules_exist(self):
+        """Every `repro/...py` path in DESIGN.md points at a real file."""
+        text = read("DESIGN.md")
+        missing = []
+        for match in re.finditer(r"`(repro/[\w/]+\.py)", text):
+            path = ROOT / "src" / match.group(1)
+            if not path.exists():
+                missing.append(match.group(1))
+        assert not missing, missing
+
+    def test_referenced_benchmarks_exist(self):
+        text = read("DESIGN.md")
+        missing = []
+        for match in re.finditer(r"`(benchmarks/test_[\w]+\.py)`", text):
+            if not (ROOT / match.group(1)).exists():
+                missing.append(match.group(1))
+        assert not missing, missing
+
+    def test_referenced_tests_exist(self):
+        text = read("DESIGN.md")
+        missing = []
+        for match in re.finditer(r"`(tests/[\w/]+\.py)`", text):
+            if not (ROOT / match.group(1)).exists():
+                missing.append(match.group(1))
+        assert not missing, missing
+
+    def test_every_figure_benchmark_is_indexed(self):
+        """Each benchmarks/test_fig*/table* file appears in DESIGN.md."""
+        text = read("DESIGN.md")
+        undocumented = []
+        for path in sorted((ROOT / "benchmarks").glob("test_*.py")):
+            if path.name not in text:
+                undocumented.append(path.name)
+        assert not undocumented, undocumented
+
+
+class TestReadmeReferences:
+    def test_example_table_matches_directory(self):
+        text = read("README.md")
+        on_disk = {p.name for p in (ROOT / "examples").glob("*.py")}
+        documented = set(re.findall(r"`examples/([\w]+\.py)`", text))
+        assert documented == on_disk
+
+    def test_architecture_mentions_every_package(self):
+        text = read("README.md")
+        packages = {
+            p.name
+            for p in (ROOT / "src" / "repro").iterdir()
+            if p.is_dir() and (p / "__init__.py").exists()
+        }
+        for package in packages:
+            assert f"{package}/" in text, f"README architecture misses {package}/"
+
+
+class TestExperimentsReferences:
+    def test_result_files_come_from_real_benchmarks(self):
+        """Every results file named in EXPERIMENTS.md is produced by some
+        benchmark (its stem appears in a benchmark source)."""
+        text = read("EXPERIMENTS.md")
+        sources = "".join(
+            p.read_text(encoding="utf-8")
+            for p in (ROOT / "benchmarks").glob("*.py")
+        )
+        for name in set(re.findall(r"`(\w+\.txt)`", text)):
+            assert name in sources, f"{name} not emitted by any benchmark"
+
+    def test_every_paper_figure_covered(self):
+        """Figures 1, 4-13 and Tables 1-3 all appear in EXPERIMENTS.md."""
+        text = read("EXPERIMENTS.md")
+        for figure in [1, 5, 6, 7, 8, 9, 10, 11, 12, 13]:
+            assert re.search(rf"Fig(?:ure|\.) {figure}[ab]?\b", text), figure
+        for table in [1, 2, 3]:
+            assert re.search(rf"Table {table}\b", text), table

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are the public-API contract in executable form; a refactor that
+breaks one should fail the test suite, not a user.  Heavier examples are
+exercised through their importable pieces to keep the suite fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestQuickstart:
+    def test_runs_and_compares_methods(self):
+        out = run_example("quickstart.py")
+        assert "ours" in out
+
+
+class TestTravelPlanner:
+    def test_finds_itineraries(self):
+        out = run_example("travel_planner.py")
+        assert "itineraries" in out
+        assert "[ours]" in out and "[ysmart]" in out
+
+
+class TestSkewStudy:
+    def test_prints_balance_table(self):
+        out = run_example("skew_study.py")
+        assert "max/mean" in out
+        assert "hypercube" in out
+
+
+class TestImportableMains:
+    """The heavier examples at least import cleanly and expose main()."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["mobile_analytics", "tpch_analytics", "plan_explorer"],
+    )
+    def test_module_shape(self, name):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            name, EXAMPLES / f"{name}.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert callable(module.main)

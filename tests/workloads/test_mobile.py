@@ -1,0 +1,117 @@
+"""Tests for the mobile CDR workload generator and queries Q1-Q4."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.workloads.mobile import (
+    DIURNAL_WEIGHTS,
+    MOBILE_QUERY_IDS,
+    NUM_DAYS,
+    generate_mobile_calls,
+    make_mobile_query,
+    mobile_benchmark_query,
+    mobile_query_features,
+    mobile_schema,
+)
+
+
+class TestGenerator:
+    def test_schema_fields(self):
+        assert mobile_schema().names == ("id", "d", "bt", "l", "bsc")
+
+    def test_inflated_width(self):
+        schema = mobile_schema(bytes_per_row=1000)
+        assert abs(schema.row_width - 1000) < 20
+
+    def test_row_domains(self):
+        calls = generate_mobile_calls(300, num_stations=10, seed=1)
+        for user, day, begin, length, station in calls:
+            assert 1 <= day <= NUM_DAYS
+            assert 0 <= begin < 86400
+            assert length >= 5
+            assert 0 <= station < 10
+
+    def test_deterministic(self):
+        a = generate_mobile_calls(50, seed=7)
+        b = generate_mobile_calls(50, seed=7)
+        assert a.rows == b.rows
+
+    def test_diurnal_pattern_visible(self):
+        """Calls at 19-20h must clearly outnumber calls at 3-4h."""
+        calls = generate_mobile_calls(3000, seed=2)
+        hours = [row[2] // 3600 for row in calls]
+        evening = sum(1 for h in hours if h in (19, 20))
+        night = sum(1 for h in hours if h in (3, 4))
+        assert evening > 3 * max(night, 1)
+
+    def test_station_skew(self):
+        """Station popularity is Zipf-ish: the top station dominates."""
+        calls = generate_mobile_calls(3000, num_stations=20, seed=3)
+        from collections import Counter
+
+        counts = Counter(row[4] for row in calls)
+        top = counts.most_common(1)[0][1]
+        assert top > 2 * (3000 / 20)
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(QueryError):
+            generate_mobile_calls(0)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("qid", MOBILE_QUERY_IDS)
+    def test_query_builds(self, qid):
+        calls = generate_mobile_calls(30, seed=1)
+        query = make_mobile_query(qid, calls)
+        assert query.name == f"mobile-Q{qid}"
+        expected_relations = 3 if qid in (1, 2) else 4
+        assert len(query.relations) == expected_relations
+
+    def test_unknown_query_id(self):
+        calls = generate_mobile_calls(10, seed=1)
+        with pytest.raises(QueryError):
+            make_mobile_query(9, calls)
+
+    def test_q2_q4_carry_ne(self):
+        calls = generate_mobile_calls(20, seed=1)
+        for qid in (2, 4):
+            query = make_mobile_query(qid, calls)
+            ops = {p.op.symbol for c in query.conditions for p in c.predicates}
+            assert "!=" in ops
+
+    def test_q3_triangle_shape(self):
+        calls = generate_mobile_calls(20, seed=1)
+        query = make_mobile_query(3, calls)
+        pairs = {frozenset(c.aliases) for c in query.conditions}
+        assert frozenset({"t1", "t3"}) in pairs  # the window edge
+
+    def test_benchmark_scales_volume(self):
+        q20 = mobile_benchmark_query(1, 20)
+        q500 = mobile_benchmark_query(1, 500)
+        assert q500.total_input_bytes() > q20.total_input_bytes()
+        from repro.utils import GB
+
+        assert q500.total_input_bytes() == pytest.approx(500 * GB, rel=0.02)
+
+    def test_benchmark_rejects_unknown_volume(self):
+        with pytest.raises(QueryError):
+            mobile_benchmark_query(1, 77)
+
+    @pytest.mark.parametrize("qid", MOBILE_QUERY_IDS)
+    def test_features_table2_shape(self, qid):
+        features = mobile_query_features(qid)
+        assert features["query"] == f"Q{qid}"
+        assert features["join_count"] >= 3
+        assert features["inequality_ops"]
+
+
+class TestQueryResultsExist:
+    """The scaled-down generator must produce non-trivial results for all
+    four queries, otherwise the benchmark figures degenerate."""
+
+    @pytest.mark.parametrize("qid", MOBILE_QUERY_IDS)
+    def test_nonempty_at_20gb(self, qid):
+        from repro.joins.reference import reference_join
+
+        query = mobile_benchmark_query(qid, 20)
+        assert len(reference_join(query)) > 0

@@ -1,0 +1,152 @@
+"""Tests for synthetic probe workloads."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.joins.reference import reference_join
+from repro.workloads.synthetic import (
+    chain_query,
+    controllable_selfjoin_query,
+    skewed_equijoin_query,
+    uniform_relation,
+    zipf_relation,
+)
+
+
+class TestUniformRelation:
+    def test_shape(self):
+        relation = uniform_relation("U", 50, columns=3)
+        assert relation.schema.names == ("id", "v0", "v1", "v2")
+        assert relation.cardinality == 50
+
+    def test_ids_sequential(self):
+        relation = uniform_relation("U", 10)
+        assert relation.column("id") == list(range(10))
+
+    def test_inflated_rows(self):
+        relation = uniform_relation("U", 10, bytes_per_row=5000)
+        assert abs(relation.schema.row_width - 5000) < 50
+
+    def test_invalid_args(self):
+        with pytest.raises(QueryError):
+            uniform_relation("U", 0)
+
+
+class TestControllableSelfJoin:
+    @pytest.mark.parametrize("target", [0.05, 0.25, 0.5, 0.75])
+    def test_selectivity_dialled(self, target):
+        query = controllable_selfjoin_query(120, target, seed=3)
+        results = reference_join(query)
+        observed = len(results) / (120 * 120)
+        assert observed == pytest.approx(target, abs=0.08)
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(QueryError):
+            controllable_selfjoin_query(10, 0.0)
+        with pytest.raises(QueryError):
+            controllable_selfjoin_query(10, 1.5)
+
+
+class TestChainQuery:
+    def test_chain_shape(self):
+        query = chain_query(4, 20, selectivity=0.3, seed=1)
+        assert len(query.relations) == 4
+        assert len(query.conditions) == 3
+        # Consecutive relations connected.
+        pairs = {frozenset(c.aliases) for c in query.conditions}
+        assert frozenset({"r1", "r2"}) in pairs
+        assert frozenset({"r3", "r4"}) in pairs
+
+    def test_per_edge_selectivity_rough(self):
+        query = chain_query(2, 150, selectivity=0.2, seed=2)
+        results = reference_join(query)
+        observed = len(results) / (150 * 150)
+        assert observed == pytest.approx(0.2, abs=0.07)
+
+    def test_needs_two_relations(self):
+        with pytest.raises(QueryError):
+            chain_query(1, 10)
+
+
+class TestZipfRelation:
+    def test_shape(self):
+        relation = zipf_relation("Z", 120, distinct=30)
+        assert relation.schema.names == ("id", "k", "v")
+        assert relation.cardinality == 120
+
+    def test_keys_within_domain(self):
+        relation = zipf_relation("Z", 200, distinct=25, skew=1.3)
+        keys = set(relation.column("k"))
+        assert keys <= set(range(25))
+
+    def test_zero_skew_is_roughly_uniform(self):
+        relation = zipf_relation("Z", 3000, distinct=10, skew=0.0, seed=2)
+        counts = {}
+        for key in relation.column("k"):
+            counts[key] = counts.get(key, 0) + 1
+        top = max(counts.values()) / 3000
+        assert top == pytest.approx(0.1, abs=0.04)
+
+    def test_high_skew_concentrates_mass(self):
+        relation = zipf_relation("Z", 3000, distinct=50, skew=1.8, seed=2)
+        counts = {}
+        for key in relation.column("k"):
+            counts[key] = counts.get(key, 0) + 1
+        hottest = max(counts.values()) / 3000
+        assert hottest > 0.25
+        # The most popular key is the first rank.
+        assert max(counts, key=counts.get) == 0
+
+    def test_skew_orders_hot_key_mass(self):
+        def hottest(skew):
+            relation = zipf_relation("Z", 2000, distinct=40, skew=skew, seed=3)
+            counts = {}
+            for key in relation.column("k"):
+                counts[key] = counts.get(key, 0) + 1
+            return max(counts.values())
+
+        assert hottest(0.0) < hottest(1.0) < hottest(1.8)
+
+    def test_deterministic(self):
+        a = zipf_relation("Z", 60, seed=5)
+        b = zipf_relation("Z", 60, seed=5)
+        assert a.rows == b.rows
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            zipf_relation("Z", 0)
+        with pytest.raises(QueryError):
+            zipf_relation("Z", 10, distinct=0)
+        with pytest.raises(QueryError):
+            zipf_relation("Z", 10, skew=-0.5)
+
+    def test_inflated_row_width(self):
+        relation = zipf_relation("Z", 10, bytes_per_row=1500)
+        assert relation.schema.row_width >= 1400
+
+
+class TestSkewedEquijoinQuery:
+    def test_structure(self):
+        query = skewed_equijoin_query(50, skew=1.0)
+        assert set(query.aliases) == {"a", "b"}
+        assert len(query.conditions) == 1
+        ops = {p.op.symbol for p in query.conditions[0].predicates}
+        assert ops == {"=", "<="}
+
+    def test_output_grows_with_skew(self):
+        """Hot keys multiply matching pairs: more skew, more output."""
+        low = skewed_equijoin_query(150, skew=0.0, seed=1)
+        high = skewed_equijoin_query(150, skew=1.6, seed=1)
+        assert len(reference_join(high)) > len(reference_join(low))
+
+    def test_executable_by_planner(self):
+        from repro.core.executor import PlanExecutor
+        from repro.core.planner import ThetaJoinPlanner
+        from repro.mapreduce.config import ClusterConfig
+        from repro.mapreduce.runtime import SimulatedCluster
+
+        query = skewed_equijoin_query(40, skew=1.2, seed=2)
+        config = ClusterConfig().with_units(8)
+        plan = ThetaJoinPlanner(config).plan(query)
+        outcome = PlanExecutor(SimulatedCluster(config)).execute(plan, query)
+        assert outcome.report.output_records == len(reference_join(query))

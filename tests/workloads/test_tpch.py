@@ -1,0 +1,153 @@
+"""Tests for the mini TPC-H generator and the paper's four queries."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.workloads.tpch import (
+    TPCH_QUERY_IDS,
+    TPCHDatabase,
+    make_tpch_query,
+    tpch_benchmark_query,
+    tpch_query_features,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return TPCHDatabase(lineitem_rows=60, seed=1)
+
+
+class TestGenerator:
+    def test_all_tables_present(self, db):
+        tables = db.tables()
+        assert set(tables) == {
+            "region", "nation", "supplier", "customer",
+            "part", "partsupp", "orders", "lineitem",
+        }
+
+    def test_referential_integrity(self, db):
+        order_keys = set(db.orders.column("orderkey"))
+        part_keys = set(db.part.column("partkey"))
+        supp_keys = set(db.supplier.column("suppkey"))
+        nation_keys = set(db.nation.column("nationkey"))
+        region_keys = set(db.region.column("regionkey"))
+        for row in db.lineitem:
+            assert row[0] in order_keys
+            assert row[1] in part_keys
+            assert row[2] in supp_keys
+        for row in db.nation:
+            assert row[2] in region_keys
+        for row in db.supplier:
+            assert row[1] in nation_keys
+
+    def test_date_consistency(self, db):
+        """Lineitem ship/receipt dates follow their order's date."""
+        dates = dict(zip(db.orders.column("orderkey"), db.orders.column("orderdate")))
+        for row in db.lineitem:
+            orderkey, ship, receipt = row[0], row[5], row[7]
+            assert ship > dates[orderkey]
+            assert receipt > ship
+
+    def test_nation_count_is_25(self, db):
+        assert db.nation.cardinality == 25
+
+    def test_volume_scaling(self):
+        from repro.utils import GB
+
+        db200 = TPCHDatabase(volume_gb=200, seed=1)
+        total = sum(r.size_bytes for r in db200.tables().values())
+        assert total == pytest.approx(200 * GB, rel=0.1)
+        # Lineitem dominates the bytes like in real TPC-H.
+        assert db200.lineitem.size_bytes > 0.5 * total
+
+    def test_invalid_volume_rejected(self):
+        with pytest.raises(QueryError):
+            TPCHDatabase(volume_gb=123)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("qid", TPCH_QUERY_IDS)
+    def test_query_builds(self, qid, db):
+        query = make_tpch_query(qid, db)
+        assert query.name == f"tpch-Q{qid}"
+
+    def test_unknown_query_rejected(self, db):
+        with pytest.raises(QueryError):
+            make_tpch_query(99, db)
+
+    def test_table3_shapes(self):
+        """Table 3: relation counts and the inequality operators used."""
+        features = {qid: tpch_query_features(qid) for qid in TPCH_QUERY_IDS}
+        assert features[7]["relations"] == 6   # s, l, o, c, n1, n2
+        assert features[17]["relations"] == 3
+        assert features[18]["relations"] == 4
+        assert features[21]["relations"] == 6
+        assert "<=" in features[17]["inequality_ops"]
+        assert ">=" in features[18]["inequality_ops"]
+        assert "!=" in features[21]["inequality_ops"]
+
+    @pytest.mark.parametrize("qid", TPCH_QUERY_IDS)
+    def test_queries_have_inequality_amendments(self, qid):
+        features = tpch_query_features(qid)
+        assert features["inequality_ops"], "paper amends all four with theta"
+
+    @pytest.mark.parametrize("qid", TPCH_QUERY_IDS)
+    def test_nonempty_results_small_scale(self, qid):
+        from repro.joins.reference import reference_join
+
+        db = TPCHDatabase(lineitem_rows=40, seed=2)
+        query = make_tpch_query(qid, db)
+        assert len(reference_join(query)) > 0
+
+
+class TestExtendedQueries:
+    """Q3/Q5/Q10 — the 'almost all 21 queries' coverage beyond the four
+    the paper presents."""
+
+    from repro.workloads.tpch import TPCH_EXTENDED_QUERY_IDS
+
+    EXTRA = tuple(sorted(set(TPCH_EXTENDED_QUERY_IDS) - set(TPCH_QUERY_IDS)))
+
+    @pytest.mark.parametrize("qid", EXTRA)
+    def test_query_builds(self, qid, db):
+        query = make_tpch_query(qid, db)
+        assert query.name == f"tpch-Q{qid}"
+
+    @pytest.mark.parametrize("qid", EXTRA)
+    def test_inequality_amended(self, qid):
+        features = tpch_query_features(qid)
+        assert features["inequality_ops"]
+
+    def test_relation_counts(self):
+        assert tpch_query_features(3)["relations"] == 3
+        assert tpch_query_features(5)["relations"] == 6
+        assert tpch_query_features(10)["relations"] == 4
+
+    @pytest.mark.parametrize("qid", EXTRA)
+    def test_nonempty_results_small_scale(self, qid):
+        from repro.joins.reference import reference_join
+
+        db = TPCHDatabase(lineitem_rows=40, seed=2)
+        query = make_tpch_query(qid, db)
+        assert len(reference_join(query)) > 0
+
+    @pytest.mark.parametrize("qid", EXTRA)
+    def test_planner_matches_oracle(self, qid):
+        from repro.core.executor import PlanExecutor
+        from repro.core.planner import ThetaJoinPlanner
+        from repro.joins.reference import reference_join
+        from repro.mapreduce.config import ClusterConfig
+        from repro.mapreduce.runtime import SimulatedCluster
+
+        db = TPCHDatabase(lineitem_rows=30, seed=3)
+        query = make_tpch_query(qid, db)
+        config = ClusterConfig().with_units(16)
+        plan = ThetaJoinPlanner(config).plan(query)
+        outcome = PlanExecutor(SimulatedCluster(config)).execute(plan, query)
+        assert outcome.report.output_records == len(reference_join(query))
+
+    def test_benchmark_query_at_volume(self):
+        query = tpch_benchmark_query(17, 200)
+        from repro.utils import GB
+
+        assert query.total_input_bytes() > 100 * GB
