@@ -1,0 +1,141 @@
+"""Hot-path benchmark runner: times the codec, partitioner, kR sweep, and
+one end-to-end fig-10-style plan+execute run, and writes the numbers to
+``BENCH_hotpaths.json`` at the repository root.
+
+Run once per PR touching the hot path so the repo keeps a perf trajectory:
+
+    PYTHONPATH=src python benchmarks/run_hotpath_bench.py [--label after]
+
+The JSON holds one entry per label (e.g. ``before`` / ``after``), so the
+"before" numbers captured at the start of a PR survive next to the "after"
+numbers the finished PR ships with.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_hotpaths.json"
+
+
+def _time(fn, repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_codec_decode(bits: int = 7, dims: int = 2) -> float:
+    """Decode the full curve (2^14 cells) index -> point."""
+    from repro.core import hilbert
+
+    n = hilbert.curve_length(bits, dims)
+
+    def run():
+        if hasattr(hilbert, "decode_many"):
+            hilbert.decode_many(range(n), bits, dims)
+        else:
+            for i in range(n):
+                hilbert.index_to_point(i, bits, dims)
+
+    return _time(run)
+
+
+def bench_codec_encode(bits: int = 7, dims: int = 2) -> float:
+    """Encode the full grid point -> index."""
+    from repro.core import hilbert
+
+    side = 1 << bits
+    points = [(x, y) for x in range(side) for y in range(side)]
+
+    def run():
+        if hasattr(hilbert, "encode_many"):
+            hilbert.encode_many(points, bits, dims)
+        else:
+            for p in points:
+                hilbert.point_to_index(p, bits, dims)
+
+    return _time(run)
+
+
+def bench_partitioner_build(cards=(4000, 3000, 2000), k: int = 32) -> float:
+    """Construct a partitioner + summary from cold caches each call."""
+    from repro.core import partitioner as pmod
+
+    def run():
+        if hasattr(pmod, "clear_partitioner_cache"):
+            pmod.clear_partitioner_cache()
+        pmod.HypercubePartitioner(cards, k).summary()
+
+    return _time(run)
+
+
+def bench_kr_sweep(cards=(4000, 3000, 2000), max_reducers: int = 64) -> float:
+    """Equation 10's Delta-minimising sweep over kR candidates."""
+    from repro.core import partitioner as pmod
+    from repro.core.reducer_selection import choose_reducer_count
+
+    def run():
+        if hasattr(pmod, "clear_partitioner_cache"):
+            pmod.clear_partitioner_cache()
+        choose_reducer_count(list(cards), max_reducers)
+
+    return _time(run)
+
+
+def bench_end_to_end() -> float:
+    """Fig-10-style plan+execute: mobile Q2 at 20 GB on the kP<=64 cluster."""
+    from repro.core.executor import PlanExecutor
+    from repro.core.planner import ThetaJoinPlanner
+    from repro.mapreduce.config import PAPER_CLUSTER_KP64
+    from repro.mapreduce.runtime import SimulatedCluster
+    from repro.workloads.mobile import mobile_benchmark_query
+
+    query = mobile_benchmark_query(2, 20)
+
+    def run():
+        plan = ThetaJoinPlanner(PAPER_CLUSTER_KP64).plan(query)
+        PlanExecutor(SimulatedCluster(PAPER_CLUSTER_KP64)).execute(plan, query)
+
+    return _time(run, repeat=2)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after", help="entry name in the JSON")
+    args = parser.parse_args()
+
+    results = {
+        "codec_decode_full_grid_s": bench_codec_decode(),
+        "codec_encode_full_grid_s": bench_codec_encode(),
+        "partitioner_build_s": bench_partitioner_build(),
+        "kr_sweep_s": bench_kr_sweep(),
+        "end_to_end_fig10_q2_20gb_s": bench_end_to_end(),
+    }
+
+    existing = {}
+    if OUTPUT.exists():
+        existing = json.loads(OUTPUT.read_text())
+    existing[args.label] = results
+    before = existing.get("before")
+    after = existing.get("after")
+    if before and after:
+        existing["speedup"] = {
+            key: round(before[key] / after[key], 2)
+            for key in after
+            if key in before and after[key] > 0
+        }
+    OUTPUT.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(existing, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Perf-regression microbenches for the partitioning/execution hot path.
+
+Unlike the figure benchmarks (which reproduce the paper), these guard the
+*implementation*: codec encode/decode through the memoized tables, cold
+partitioner construction, the Equation 10 kR sweep, and one end-to-end
+fig-10-style plan+execute run.  ``benchmarks/run_hotpath_bench.py`` writes
+the same quantities to ``BENCH_hotpaths.json`` at the repo root so later
+PRs inherit a perf trajectory.
+
+``REPRO_QUICK=1`` (the smoke-mode switch every figure benchmark honours)
+trims the end-to-end volume; the answer-agreement smoke test below always
+runs in quick mode so the full grid stays in the figure benchmarks.
+"""
+
+import os
+
+from _harness import METHOD_PLANNERS, quick_mode
+
+from repro.core import hilbert
+from repro.core import partitioner as pmod
+from repro.core.executor import PlanExecutor
+from repro.core.partitioner import HypercubePartitioner
+from repro.core.planner import ThetaJoinPlanner
+from repro.core.reducer_selection import choose_reducer_count
+from repro.mapreduce.config import PAPER_CLUSTER_KP64
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.workloads.mobile import mobile_benchmark_query
+
+#: Full-resolution grid (2^14 cells): the codec cache's worst case.
+BITS, DIMS = 7, 2
+SWEEP_CARDS = (4000, 3000, 2000)
+
+
+def test_perf_codec_decode(benchmark):
+    n = hilbert.curve_length(BITS, DIMS)
+    indices = range(n)
+    benchmark(lambda: hilbert.decode_many(indices, BITS, DIMS))
+
+
+def test_perf_codec_encode(benchmark):
+    n = hilbert.curve_length(BITS, DIMS)
+    points = hilbert.decode_many(range(n), BITS, DIMS)
+    benchmark(lambda: hilbert.encode_many(points, BITS, DIMS))
+
+
+def test_perf_partitioner_construction(benchmark):
+    def build():
+        pmod.clear_partitioner_cache()
+        return HypercubePartitioner(SWEEP_CARDS, 32).summary()
+
+    benchmark(build)
+
+
+def test_perf_kr_sweep(benchmark):
+    def sweep():
+        pmod.clear_partitioner_cache()
+        return choose_reducer_count(list(SWEEP_CARDS), 64)
+
+    benchmark(sweep)
+
+
+def test_perf_end_to_end_fig10_style(benchmark):
+    volume = 20 if quick_mode() else 100
+    query = mobile_benchmark_query(2, volume)
+
+    def plan_and_execute():
+        plan = ThetaJoinPlanner(PAPER_CLUSTER_KP64).plan(query)
+        return PlanExecutor(SimulatedCluster(PAPER_CLUSTER_KP64)).execute(
+            plan, query
+        )
+
+    outcome = benchmark(plan_and_execute)
+    assert outcome.report.makespan_s > 0
+
+
+def test_smoke_all_methods_agree(monkeypatch):
+    """REPRO_QUICK=1 smoke: the fast path must not change any answer —
+    all four planners still produce the identical result set."""
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    assert os.environ["REPRO_QUICK"] == "1"
+    query = mobile_benchmark_query(2, 20)
+    results = {}
+    for method, planner_cls in METHOD_PLANNERS:
+        plan = planner_cls(PAPER_CLUSTER_KP64).plan(query)
+        outcome = PlanExecutor(SimulatedCluster(PAPER_CLUSTER_KP64)).execute(
+            plan, query
+        )
+        results[method] = sorted(map(tuple, outcome.result.rows))
+    ours = results["ours"]
+    assert ours, "smoke query returned no rows"
+    for method, rows in results.items():
+        assert rows == ours, f"{method} disagrees with ours"

@@ -23,7 +23,7 @@ from repro.core.job_profiles import (
     equichain_profile,
     hypercube_profile,
 )
-from repro.core.partitioner import HypercubePartitioner
+from repro.core.partitioner import HypercubePartitioner, get_partitioner
 from repro.core.reducer_selection import (
     LAMBDA_DEFAULT,
     candidate_reducer_counts,
@@ -199,7 +199,11 @@ class CandidateJobCosting:
         conditions = [self.query.condition(cid) for cid in path]
 
         choice = choose_reducer_count(cards, self.total_units, self.lam)
-        partitioner = HypercubePartitioner(cards, choice.num_reducers)
+        # Shared LRU instance: the sweep above already built this exact
+        # partitioner, so the summary is precomputed.
+        partitioner = get_partitioner(
+            HypercubePartitioner, tuple(cards), choice.num_reducers
+        )
         summary = partitioner.summary()
 
         cumulative = self._cumulative_rows(dim_aliases, conditions)
@@ -454,12 +458,11 @@ class CandidateJobCosting:
 
         cards = [left[0], right[0]]
         choice = choose_reducer_count(cards, self.total_units, self.lam)
-        partitioner = HypercubePartitioner(cards, choice.num_reducers)
         profile = hypercube_profile(
             name=f"step-{new_alias}",
             cardinalities=cards,
             record_widths=[left[1], right[1]],
-            summary=partitioner.summary(),
+            summary=choice.summary,
             step_selectivities=[
                 1.0,
                 min(1.0, output_rows / max(1.0, left[0] * right[0])),

@@ -19,7 +19,11 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.group_cost import MERGE_ID_WIDTH, merge_duration_s
-from repro.core.partitioner import HypercubePartitioner, RandomPartitioner
+from repro.core.partitioner import (
+    HypercubePartitioner,
+    RandomPartitioner,
+    get_partitioner,
+)
 from repro.core.plan import (
     STRATEGY_BROADCAST,
     STRATEGY_EQUI,
@@ -119,26 +123,38 @@ class PlanExecutor:
 
         Needed because an *empty* intermediate file carries no records to
         infer aliases from, yet downstream jobs still have to be built.
+        Kahn-style topological pass: each job is visited once when its
+        last job-input resolves, instead of re-sweeping the full list.
         """
         cover: Dict[str, Tuple[str, ...]] = {}
-        pending = list(plan.jobs)
-        while pending:
-            progressed = False
-            for job in list(pending):
-                if all(
-                    ref.kind == "base" or ref.name in cover for ref in job.inputs
-                ):
-                    aliases: set = set()
-                    for ref in job.inputs:
-                        if ref.kind == "base":
-                            aliases.add(ref.name)
-                        else:
-                            aliases.update(cover[ref.name])
-                    cover[job.job_id] = tuple(sorted(aliases))
-                    pending.remove(job)
-                    progressed = True
-            if pending and not progressed:
-                raise ExecutionError("cyclic job inputs in plan")
+        waiting: Dict[str, int] = {}
+        dependents: Dict[str, List[PlannedJob]] = {}
+        ready: List[PlannedJob] = []
+        for job in plan.jobs:
+            unresolved = {ref.name for ref in job.inputs if ref.kind == "job"}
+            if unresolved:
+                waiting[job.job_id] = len(unresolved)
+                for name in unresolved:
+                    dependents.setdefault(name, []).append(job)
+            else:
+                ready.append(job)
+        resolved = 0
+        while ready:
+            job = ready.pop()
+            aliases: set = set()
+            for ref in job.inputs:
+                if ref.kind == "base":
+                    aliases.add(ref.name)
+                else:
+                    aliases.update(cover[ref.name])
+            cover[job.job_id] = tuple(sorted(aliases))
+            resolved += 1
+            for dependent in dependents.get(job.job_id, ()):
+                waiting[dependent.job_id] -= 1
+                if waiting[dependent.job_id] == 0:
+                    ready.append(dependent)
+        if resolved != len(plan.jobs):
+            raise ExecutionError("cyclic job inputs in plan")
         return cover
 
     def _input_aliases(self, ref: InputRef) -> Tuple[str, ...]:
@@ -155,55 +171,96 @@ class PlanExecutor:
         job_outputs: Dict[str, DistributedFile],
         report: ExecutionReport,
     ) -> Dict[str, float]:
-        """Event-driven execution respecting dependencies and the unit budget."""
-        pending: List[PlannedJob] = list(plan.jobs)
+        """Event-driven execution respecting dependencies and the unit budget.
+
+        Jobs sit in a dependency-counted ready queue (kept in plan order,
+        so start decisions match the previous full-sweep implementation)
+        instead of being re-scanned and ``list.remove``d on every event.
+        """
+        import bisect
+
         done: Dict[str, float] = {}
         running: List[Tuple[float, str, int]] = []  # (end, job_id, units)
         available = plan.total_units
         now = 0.0
 
-        def deps_of(job: PlannedJob) -> List[str]:
-            deps = list(job.depends_on)
-            deps.extend(ref.name for ref in job.inputs if ref.kind == "job")
-            return deps
+        order = {job.job_id: index for index, job in enumerate(plan.jobs)}
+        all_deps: Dict[str, Tuple[str, ...]] = {}
+        unmet: Dict[str, set] = {}
+        dependents: Dict[str, List[PlannedJob]] = {}
+        ready: List[PlannedJob] = []  # plan order, maintained by bisect
+        remaining = len(plan.jobs)
+        for job in plan.jobs:
+            deps = set(job.depends_on)
+            deps.update(ref.name for ref in job.inputs if ref.kind == "job")
+            all_deps[job.job_id] = tuple(deps)
+            if deps:
+                unmet[job.job_id] = deps
+                for dep in deps:
+                    dependents.setdefault(dep, []).append(job)
+            else:
+                ready.append(job)
 
-        while pending or running:
-            started = True
-            while started:
-                started = False
-                for job in list(pending):
-                    deps = deps_of(job)
-                    if any(d not in done for d in deps):
-                        continue
-                    units = min(job.units, plan.total_units)
-                    if units > available:
-                        continue
-                    earliest = max(
-                        [now] + [done[d] for d in deps]
-                    )
-                    if earliest > now:
-                        continue
-                    duration = self._run_single_job(
-                        job, query, schemas, base_files, job_outputs, report
-                    )
-                    heapq.heappush(running, (now + duration, job.job_id, units))
-                    available -= units
-                    pending.remove(job)
-                    started = True
-            if pending or running:
+        ready_keys = [order[job.job_id] for job in ready]
+
+        def push_ready(job: PlannedJob) -> None:
+            key = order[job.job_id]
+            at = bisect.bisect_left(ready_keys, key)
+            ready_keys.insert(at, key)
+            ready.insert(at, job)
+
+        def release_dependents(finished_id: str) -> None:
+            for dependent in dependents.get(finished_id, ()):
+                waiting = unmet[dependent.job_id]
+                waiting.discard(finished_id)
+                if not waiting:
+                    push_ready(dependent)
+
+        while remaining or running:
+            # Start every ready job that fits, in plan order.  Starting a
+            # job only consumes units, so one ordered pass reaches the
+            # same fixed point the previous repeated sweeps did.
+            index = 0
+            while index < len(ready):
+                job = ready[index]
+                units = min(job.units, plan.total_units)
+                if units > available:
+                    index += 1
+                    continue
+                earliest = max(
+                    [now] + [done[d] for d in all_deps[job.job_id]]
+                )
+                if earliest > now:
+                    index += 1
+                    continue
+                duration = self._run_single_job(
+                    job, query, schemas, base_files, job_outputs, report
+                )
+                heapq.heappush(running, (now + duration, job.job_id, units))
+                available -= units
+                remaining -= 1
+                del ready[index]
+                del ready_keys[index]
+            if remaining or running:
                 if not running:
+                    stuck = sorted(
+                        set(unmet) - set(done) | {j.job_id for j in ready},
+                        key=lambda job_id: order[job_id],
+                    )
                     raise ExecutionError(
                         f"plan {plan.name!r} deadlocked: pending jobs "
-                        f"{[j.job_id for j in pending]} cannot start"
+                        f"{stuck} cannot start"
                     )
                 end, job_id, units = heapq.heappop(running)
                 now = max(now, end)
                 done[job_id] = end
                 available += units
+                release_dependents(job_id)
                 while running and running[0][0] <= now:
                     end2, job_id2, units2 = heapq.heappop(running)
                     done[job_id2] = end2
                     available += units2
+                    release_dependents(job_id2)
         return done
 
     def _run_single_job(
@@ -278,8 +335,10 @@ class PlanExecutor:
                 if job.strategy == STRATEGY_RANDOMCUBE
                 else HypercubePartitioner
             )
-            partitioner = partitioner_cls(
-                cards, reducers, bits=job.partition_bits
+            # Shared LRU instance: the planner's costing usually built the
+            # very same partitioner, so run time pays no rebuild.
+            partitioner = get_partitioner(
+                partitioner_cls, tuple(cards), reducers, bits=job.partition_bits
             )
             dim_aliases = [self._input_aliases(ref) for ref in job.inputs]
             spec = make_hypercube_join_job(
@@ -355,36 +414,50 @@ class PlanExecutor:
         job_ends: Mapping[str, float],
     ) -> Tuple[List[Composite], float, float]:
         terminals = plan.terminal_jobs()
-        pool: List[Tuple[FrozenSet[str], List[Composite], float]] = []
-        for job in terminals:
+        #: Live partial results keyed by insertion sequence number.  List
+        #: positions in the old quadratic scan preserved insertion order,
+        #: so (size, seq_i, seq_j) ordering reproduces its pair choices.
+        pool: Dict[int, Tuple[FrozenSet[str], List[Composite], float]] = {}
+        for sequence, job in enumerate(terminals):
             output = job_outputs[job.job_id]
             composites: List[Composite] = list(output.records)  # type: ignore[arg-type]
             aliases = frozenset(self._alias_cover[job.job_id])
-            pool.append((aliases, composites, job_ends[job.job_id]))
+            pool[sequence] = (aliases, composites, job_ends[job.job_id])
 
         if not pool:
             return [], 0.0, 0.0
 
+        # Candidate heap memoizes pair sizes: each mergeable pair is priced
+        # once when both sides exist, instead of re-scanning all pairs per
+        # merge (the old O(n^2 * merges) best-pair search).
+        candidates: List[Tuple[int, int, int]] = []
+        entries = list(pool.items())
+        for a in range(len(entries)):
+            seq_i, (aliases_i, rows_i, _) = entries[a]
+            for b in range(a + 1, len(entries)):
+                seq_j, (aliases_j, rows_j, _) = entries[b]
+                if aliases_i & aliases_j:
+                    heapq.heappush(
+                        candidates, (len(rows_i) + len(rows_j), seq_i, seq_j)
+                    )
+
         disk = self.cluster.config.disk_read_bytes_s
         merge_total = 0.0
+        next_sequence = len(terminals)
         while len(pool) > 1:
-            best: Optional[Tuple[int, int]] = None
-            best_size = float("inf")
-            for i in range(len(pool)):
-                for j in range(i + 1, len(pool)):
-                    if not (pool[i][0] & pool[j][0]):
-                        continue
-                    size = len(pool[i][1]) + len(pool[j][1])
-                    if size < best_size:
-                        best_size = size
-                        best = (i, j)
-            if best is None:
+            pair: Optional[Tuple[int, int]] = None
+            while candidates:
+                _size, seq_i, seq_j = heapq.heappop(candidates)
+                if seq_i in pool and seq_j in pool:
+                    pair = (seq_i, seq_j)
+                    break
+            if pair is None:
                 raise ExecutionError(
                     "terminal results share no relation; cannot merge"
                 )
-            i, j = best
-            left_aliases, left_rows, left_ready = pool[i]
-            right_aliases, right_rows, right_ready = pool[j]
+            seq_i, seq_j = pair
+            left_aliases, left_rows, left_ready = pool.pop(seq_i)
+            right_aliases, right_rows, right_ready = pool.pop(seq_j)
             merged_rows = _hash_merge(
                 left_rows, right_rows, left_aliases & right_aliases
             )
@@ -393,10 +466,21 @@ class PlanExecutor:
             )
             merge_total += duration
             ready = max(left_ready, right_ready) + duration
-            pool = [p for k, p in enumerate(pool) if k not in (i, j)]
-            pool.append((left_aliases | right_aliases, merged_rows, ready))
+            merged_aliases = left_aliases | right_aliases
+            for seq_other, (aliases_other, rows_other, _) in pool.items():
+                if merged_aliases & aliases_other:
+                    heapq.heappush(
+                        candidates,
+                        (
+                            len(merged_rows) + len(rows_other),
+                            seq_other,
+                            next_sequence,
+                        ),
+                    )
+            pool[next_sequence] = (merged_aliases, merged_rows, ready)
+            next_sequence += 1
 
-        aliases, composites, ready = pool[0]
+        _aliases, composites, ready = next(iter(pool.values()))
         if len(terminals) == 1:
             ready = job_ends[terminals[0].job_id]
         return composites, ready, merge_total

@@ -16,13 +16,23 @@ Key quantities:
   (tuple, component) incidences — the data volume copied over the network;
 * each joint grid cell belongs to exactly one component, which gives the
   reducer-side *ownership* rule that makes results exact and duplicate-free.
+
+Hot-path layout: construction makes ONE pass over the memoized curve
+table (:func:`repro.core.hilbert.curve_tables`), building the slab index,
+the flat ``cell -> component`` ownership array, the per-dimension
+duplication counts, and the full :class:`PartitionSummary` together.
+After that every query is an array lookup, and :func:`get_partitioner`
+lets the kR sweep, the planner's costing, and the executor share one
+instance per ``(class, cardinalities, kR, bits)``.
 """
 
 from __future__ import annotations
 
+import functools
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple, Type
 
 from repro.core import hilbert
 from repro.errors import PartitionError
@@ -67,6 +77,10 @@ class PartitionSummary:
     max_tuples_per_component: int
     #: Standard deviation of per-component input tuples.
     tuples_sigma: float
+    #: kR as originally requested, before any clamp to the cell count.
+    requested_components: int = 0
+    #: True when ``requested_components > num_cells`` forced a smaller kR.
+    clamped: bool = False
 
 
 class HypercubePartitioner:
@@ -100,7 +114,9 @@ class HypercubePartitioner:
         self.bits = bits or choose_grid_bits(self.dims, num_components)
         self.side = 1 << self.bits
         self.num_cells = hilbert.curve_length(self.bits, self.dims)
-        if num_components > self.num_cells:
+        self.requested_components = num_components
+        self.clamped = num_components > self.num_cells
+        if self.clamped:
             # Cannot have more components than grid cells; clamp like the
             # paper clamps kR to the available resolution.
             num_components = self.num_cells
@@ -113,8 +129,7 @@ class HypercubePartitioner:
         self.used_side: Tuple[int, ...] = tuple(
             ceil_div(c, w) for c, w in zip(self.cardinalities, self.cell_widths)
         )
-        self._slab_components: List[List[Tuple[int, ...]]] = []
-        self._build_slab_index()
+        self._build_tables()
 
     # ------------------------------------------------------------------
     # construction
@@ -127,28 +142,111 @@ class HypercubePartitioner:
             curve_index * self.num_components // self.num_cells,
         )
 
-    def _build_slab_index(self) -> None:
-        """One pass over all grid cells: which components touch each slab."""
+    def _cell_points(self) -> Sequence[Tuple[int, ...]]:
+        """All grid cells in curve order, through the memoized codec."""
+        tables = hilbert.curve_tables(self.bits, self.dims)
+        if tables is not None:
+            return tables.points
+        return hilbert.decode_many(range(self.num_cells), self.bits, self.dims)
+
+    def _build_tables(self) -> None:
+        """ONE pass over the cached curve table builds everything at once:
+
+        * ``_slab_components``: per dimension, which components touch each
+          populated grid slab (Algorithm 1's map-side routing);
+        * ``_owner_by_flat``: row-major flattened cell -> owning component
+          (the reducer-side ownership rule, now two array lookups);
+        * the per-dimension duplication counts of Equation 7 and the full
+          per-component load statistics of :meth:`summary`.
+        """
+        dims = self.dims
+        used_side = self.used_side
+        cell_widths = self.cell_widths
+        cardinalities = self.cardinalities
+        num_components = self.num_components
+
+        points = self._cell_points()
+        component_of = self.component_of_cell_index
+        owner: List[int] = [component_of(i) for i in range(self.num_cells)]
+
+        # Flat (row-major) cell id -> owning component, covering the whole
+        # grid so out-of-populated-region probes still resolve.
+        side = self.side
+        owner_by_flat: List[int] = [0] * self.num_cells
+        for curve_index, point in enumerate(points):
+            f = 0
+            for coordinate in point:
+                f = f * side + coordinate
+            owner_by_flat[f] = owner[curve_index]
+        self._owner_by_flat: Sequence[int] = owner_by_flat
+
+        #: Tuples held by each populated slab of each dimension.
+        slab_counts: List[List[int]] = []
+        for d in range(dims):
+            width = cell_widths[d]
+            cardinality = cardinalities[d]
+            slab_counts.append(
+                [
+                    min(width, cardinality - slab * width)
+                    for slab in range(used_side[d])
+                ]
+            )
+
         touch: List[List[set]] = [
-            [set() for _ in range(self.side)] for _ in range(self.dims)
+            [set() for _ in range(used_side[d])] for d in range(dims)
         ]
-        for curve_index in range(self.num_cells):
-            cell = hilbert.index_to_point(curve_index, self.bits, self.dims)
-            component = self.component_of_cell_index(curve_index)
+        combos_per_component: List[int] = [0] * num_components
+        for curve_index, point in enumerate(points):
+            component = owner[curve_index]
+            combos = 1
             usable = True
-            for d, coordinate in enumerate(cell):
-                if coordinate >= self.used_side[d]:
+            for d in range(dims):
+                coordinate = point[d]
+                if coordinate >= used_side[d]:
                     usable = False
                     break
+                combos *= slab_counts[d][coordinate]
             if not usable:
                 # Cells outside the populated region hold no tuples; they
                 # still belong to a segment but never receive data.
                 continue
-            for d, coordinate in enumerate(cell):
-                touch[d][coordinate].add(component)
-        self._slab_components = [
+            for d in range(dims):
+                touch[d][point[d]].add(component)
+            combos_per_component[component] += combos
+
+        self._slab_components: List[List[Tuple[int, ...]]] = [
             [tuple(sorted(s)) for s in per_dim] for per_dim in touch
         ]
+
+        per_dim_duplication: List[int] = []
+        tuples_per_component: List[int] = [0] * num_components
+        for d in range(dims):
+            incidences = 0
+            counts = slab_counts[d]
+            for slab, components in enumerate(self._slab_components[d]):
+                tuples_in_slab = counts[slab]
+                incidences += tuples_in_slab * len(components)
+                for component in components:
+                    tuples_per_component[component] += tuples_in_slab
+            per_dim_duplication.append(incidences)
+        self._duplication_by_dim: Tuple[int, ...] = tuple(per_dim_duplication)
+
+        mean_load = sum(tuples_per_component) / num_components
+        sigma = math.sqrt(
+            sum((v - mean_load) ** 2 for v in tuples_per_component)
+            / num_components
+        )
+        self._summary = PartitionSummary(
+            num_components=num_components,
+            duplication_score=sum(per_dim_duplication),
+            duplication_by_dim=self._duplication_by_dim,
+            total_combinations=sum(combos_per_component),
+            max_combinations_per_component=max(combos_per_component),
+            max_tuples_per_component=max(tuples_per_component),
+            tuples_sigma=sigma,
+            requested_components=self.requested_components,
+            clamped=self.clamped,
+        )
 
     # ------------------------------------------------------------------
     # tuple routing (Algorithm 1's map side)
@@ -169,6 +267,32 @@ class HypercubePartitioner:
         """All components a tuple must be replicated to (its slab's components)."""
         return self._slab_components[dim][self.slab_of(dim, global_id)]
 
+    def slab_components(self) -> List[List[Tuple[int, ...]]]:
+        """Per-dimension ``slab -> touching components`` routing tables.
+
+        Exposed so join jobs can route tuples without per-record range
+        validation (their record counts are checked once at build time).
+        """
+        return self._slab_components
+
+    def owner_of_ids(self, global_ids: Sequence[int]) -> int:
+        """Fast ownership: two array lookups, no validation.
+
+        Callers must pass exactly ``dims`` in-range global ids (join jobs
+        guarantee this because record counts equal the cardinalities).
+        """
+        side = self.side
+        cell_widths = self.cell_widths
+        used_side = self.used_side
+        flat = 0
+        for d, global_id in enumerate(global_ids):
+            slab = global_id // cell_widths[d]
+            limit = used_side[d] - 1
+            if slab > limit:
+                slab = limit
+            flat = flat * side + slab
+        return self._owner_by_flat[flat]
+
     def owner_component(self, global_ids: Sequence[int]) -> int:
         """The unique component owning the joint cell of a tuple combination.
 
@@ -179,9 +303,13 @@ class HypercubePartitioner:
             raise PartitionError(
                 f"expected {self.dims} global ids, got {len(global_ids)}"
             )
-        cell = tuple(self.slab_of(d, g) for d, g in enumerate(global_ids))
-        curve_index = hilbert.point_to_index(cell, self.bits, self.dims)
-        return self.component_of_cell_index(curve_index)
+        for d, global_id in enumerate(global_ids):
+            if not 0 <= global_id < self.cardinalities[d]:
+                raise PartitionError(
+                    f"global id {global_id} outside [0, {self.cardinalities[d]}) "
+                    f"for dimension {d}"
+                )
+        return self.owner_of_ids(global_ids)
 
     # ------------------------------------------------------------------
     # analytics (Equations 7 and 10)
@@ -189,62 +317,15 @@ class HypercubePartitioner:
 
     def duplication_by_dim(self) -> Tuple[int, ...]:
         """Eq. 7 contribution of each dimension: copies of Ri's tuples sent out."""
-        per_dim: List[int] = []
-        for d, cardinality in enumerate(self.cardinalities):
-            width = self.cell_widths[d]
-            incidences = 0
-            for slab in range(self.used_side[d]):
-                tuples_in_slab = min(width, cardinality - slab * width)
-                incidences += tuples_in_slab * len(self._slab_components[d][slab])
-            per_dim.append(incidences)
-        return tuple(per_dim)
+        return self._duplication_by_dim
 
     def duplication_score(self) -> int:
         """Equation 7: sum over all tuples of how many components receive them."""
-        return sum(self.duplication_by_dim())
+        return self._summary.duplication_score
 
     def summary(self) -> PartitionSummary:
-        """Per-component load statistics for the cost model."""
-        tuples_per_component: Dict[int, int] = {
-            c: 0 for c in range(self.num_components)
-        }
-        for d, cardinality in enumerate(self.cardinalities):
-            width = self.cell_widths[d]
-            for slab in range(self.used_side[d]):
-                tuples_in_slab = min(width, cardinality - slab * width)
-                for component in self._slab_components[d][slab]:
-                    tuples_per_component[component] += tuples_in_slab
-
-        combos_per_component: Dict[int, int] = {
-            c: 0 for c in range(self.num_components)
-        }
-        for curve_index in range(self.num_cells):
-            cell = hilbert.index_to_point(curve_index, self.bits, self.dims)
-            combos = 1
-            usable = True
-            for d, coordinate in enumerate(cell):
-                if coordinate >= self.used_side[d]:
-                    usable = False
-                    break
-                width = self.cell_widths[d]
-                combos *= min(width, self.cardinalities[d] - coordinate * width)
-            if not usable:
-                continue
-            combos_per_component[self.component_of_cell_index(curve_index)] += combos
-
-        loads = list(tuples_per_component.values())
-        mean_load = sum(loads) / len(loads)
-        sigma = math.sqrt(sum((v - mean_load) ** 2 for v in loads) / len(loads))
-        per_dim = self.duplication_by_dim()
-        return PartitionSummary(
-            num_components=self.num_components,
-            duplication_score=sum(per_dim),
-            duplication_by_dim=per_dim,
-            total_combinations=sum(combos_per_component.values()),
-            max_combinations_per_component=max(combos_per_component.values()),
-            max_tuples_per_component=max(loads),
-            tuples_sigma=sigma,
-        )
+        """Per-component load statistics for the cost model (precomputed)."""
+        return self._summary
 
 
 class GridPartitioner(HypercubePartitioner):
@@ -256,11 +337,19 @@ class GridPartitioner(HypercubePartitioner):
     advancing the others.
     """
 
+    @functools.cached_property
+    def _tables(self):
+        return hilbert.curve_tables(self.bits, self.dims)
+
     def component_of_cell_index(self, curve_index: int) -> int:
-        cell = hilbert.index_to_point(curve_index, self.bits, self.dims)
-        flat = 0
-        for coordinate in cell:
-            flat = flat * self.side + coordinate
+        tables = self._tables
+        if tables is not None:
+            flat = tables.flat_of(tables.points[curve_index])
+        else:
+            cell = hilbert.index_to_point(curve_index, self.bits, self.dims)
+            flat = 0
+            for coordinate in cell:
+                flat = flat * self.side + coordinate
         return min(
             self.num_components - 1, flat * self.num_components // self.num_cells
         )
@@ -273,3 +362,44 @@ class RandomPartitioner(HypercubePartitioner):
         from repro.utils import stable_hash
 
         return stable_hash(("cell", curve_index), self.num_components)
+
+
+# ---------------------------------------------------------------------------
+# shared-instance cache (kR sweep, planner costing, and executor all reuse)
+# ---------------------------------------------------------------------------
+
+_PARTITIONER_CACHE: "OrderedDict[tuple, HypercubePartitioner]" = OrderedDict()
+_PARTITIONER_CACHE_MAX = 256
+
+
+def get_partitioner(
+    partitioner_cls: Type[HypercubePartitioner],
+    cardinalities: Sequence[int],
+    num_components: int,
+    bits: int = 0,
+) -> HypercubePartitioner:
+    """LRU-cached partitioner construction.
+
+    Partitioners are immutable after ``__init__``, so the Equation 10 kR
+    sweep, the planner's costing, and the executor can all share one
+    instance per ``(class, cardinalities, kR, bits)`` — the summary and
+    ownership tables are then computed exactly once per configuration.
+    """
+    # Normalize bits so the sweep/costing (bits=0) and the executor (the
+    # resolved job.partition_bits) hit the same cache entry.
+    resolved_bits = bits or choose_grid_bits(len(cardinalities), num_components)
+    key = (partitioner_cls, tuple(cardinalities), num_components, resolved_bits)
+    cached = _PARTITIONER_CACHE.get(key)
+    if cached is not None:
+        _PARTITIONER_CACHE.move_to_end(key)
+        return cached
+    built = partitioner_cls(cardinalities, num_components, bits=resolved_bits)
+    _PARTITIONER_CACHE[key] = built
+    if len(_PARTITIONER_CACHE) > _PARTITIONER_CACHE_MAX:
+        _PARTITIONER_CACHE.popitem(last=False)
+    return built
+
+
+def clear_partitioner_cache() -> None:
+    """Drop all cached partitioners (used by benchmarks for cold timings)."""
+    _PARTITIONER_CACHE.clear()

@@ -27,7 +27,6 @@ from repro.core.group_cost import group_cost_s
 from repro.core.job_profiles import equi_profile, hypercube_profile
 from repro.core.join_graph import JoinGraph
 from repro.core.join_path_graph import JoinPathGraph, build_join_path_graph
-from repro.core.partitioner import HypercubePartitioner
 from repro.core.plan import (
     STRATEGY_EQUI,
     STRATEGY_ONEBUCKET,
@@ -36,11 +35,7 @@ from repro.core.plan import (
     PlannedJob,
 )
 from repro.core.plan_selector import candidate_covers
-from repro.core.reducer_selection import (
-    LAMBDA_DEFAULT,
-    candidate_reducer_counts,
-    choose_reducer_count,
-)
+from repro.core.reducer_selection import LAMBDA_DEFAULT
 from repro.core.scheduler import MalleableJob, MalleableScheduler
 from repro.errors import PlanningError
 from repro.joins.records import composite_width

@@ -19,7 +19,11 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Type
 
-from repro.core.partitioner import HypercubePartitioner, PartitionSummary
+from repro.core.partitioner import (
+    HypercubePartitioner,
+    PartitionSummary,
+    get_partitioner,
+)
 from repro.errors import PartitionError
 
 #: The paper's measured blending coefficient (Section 5.1, footnote 1).
@@ -35,6 +39,16 @@ class ReducerChoice:
     duplication_score: int
     combinations_per_reducer: float
     summary: PartitionSummary
+
+    @property
+    def requested_reducers(self) -> int:
+        """kR as requested before any clamp to the grid resolution."""
+        return self.summary.requested_components or self.num_reducers
+
+    @property
+    def clamped(self) -> bool:
+        """True when the grid's cell count forced a smaller effective kR."""
+        return self.summary.clamped
 
 
 def delta_value(summary: PartitionSummary, lam: float = LAMBDA_DEFAULT) -> float:
@@ -65,11 +79,24 @@ def evaluate_reducer_counts(
     lam: float = LAMBDA_DEFAULT,
     partitioner_cls: Type[HypercubePartitioner] = HypercubePartitioner,
 ) -> List[ReducerChoice]:
-    """Delta for every candidate kR; ascending kR order."""
+    """Delta for every candidate kR; ascending kR order.
+
+    Partitioners come from the shared LRU cache, so re-running the sweep
+    (planner costing, executor) reuses the same precomputed instances.
+    When the grid's cell count clamps several requested kR candidates to
+    the same effective count, only the first is kept — the clamp would
+    otherwise silently evaluate one partition several times and report
+    duplicate ``num_reducers`` values mid-sweep (the summary's
+    ``clamped`` / ``requested_components`` fields surface what happened).
+    """
     choices = []
+    seen_effective: set = set()
     for k in candidate_reducer_counts(max_reducers):
-        partition = partitioner_cls(cardinalities, k)
+        partition = get_partitioner(partitioner_cls, tuple(cardinalities), k)
         summary = partition.summary()
+        if summary.num_components in seen_effective:
+            continue
+        seen_effective.add(summary.num_components)
         choices.append(
             ReducerChoice(
                 num_reducers=summary.num_components,

@@ -25,7 +25,7 @@ assumed.
 
 from __future__ import annotations
 
-import itertools
+import bisect
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.partitioner import HypercubePartitioner
@@ -48,16 +48,6 @@ def _ready_conditions(
 ) -> List[JoinCondition]:
     bound = set(bound_aliases)
     return [c for c in conditions if set(c.aliases) <= bound]
-
-
-def _composite_width_fn(schemas_by_alias: Mapping[str, Schema]):
-    """Exact serialized width of a composite, from schema-declared row widths."""
-    widths = {alias: schema.row_width for alias, schema in schemas_by_alias.items()}
-
-    def width(composite: Composite) -> int:
-        return sum(16 + widths[alias] for alias, _, _ in composite)
-
-    return width
 
 
 def _hash_plan_for_step(
@@ -98,11 +88,29 @@ def _hash_plan_for_step(
     return bound_refs, new_refs
 
 
-def _key_values(composite: Composite, refs, schemas: Mapping[str, Schema]):
+def _composite_width_fn(schemas_by_alias: Mapping[str, Schema]):
+    """Exact serialized width of a composite, from schema-declared row widths.
+
+    Only needed when an input's alias cover varies per record (e.g. the
+    share-based operator); jobs with fixed covers precompute constants.
+    """
+    widths = {alias: schema.row_width for alias, schema in schemas_by_alias.items()}
+
+    def width(composite: Composite) -> int:
+        return sum(16 + widths[alias] for alias, _, _ in composite)
+
+    return width
+
+
+def _resolve_refs(refs, schemas: Mapping[str, Schema]) -> List[Tuple[str, int]]:
+    """Attribute references -> ``(alias, column index)`` pairs, resolved ONCE
+    at job-build time so per-composite probes skip the schema lookup."""
+    return [(ref.alias, schemas[ref.alias].index_of(ref.attr)) for ref in refs]
+
+
+def _key_values(composite: Composite, specs: Sequence[Tuple[str, int]]):
     rows = rows_by_alias(composite)
-    return tuple(
-        rows[ref.alias][schemas[ref.alias].index_of(ref.attr)] for ref in refs
-    )
+    return tuple(rows[alias][index] for alias, index in specs)
 
 
 def _range_plan_for_step(
@@ -225,15 +233,71 @@ def make_hypercube_join_job(
         seen_conditions.update(id(c) for c in ready)
         ready_at_step.append(ready)
 
+    # Probe plans are static per step (they depend only on the condition
+    # set and dimension order), so build them ONCE with attribute indices
+    # resolved, instead of re-deriving them inside every reducer call.
+    step_plans: List[Optional[tuple]] = [None]
+    for step in range(1, len(dim_files)):
+        ready = ready_at_step[step]
+        bound_aliases = {a for group in dim_aliases[:step] for a in group}
+        hash_plan = _hash_plan_for_step(ready, bound_aliases, dim_aliases[step])
+        if hash_plan is not None:
+            bound_refs, new_refs = hash_plan
+            step_plans.append(
+                (
+                    "hash",
+                    _resolve_refs(bound_refs, schemas_by_alias),
+                    _resolve_refs(new_refs, schemas_by_alias),
+                )
+            )
+            continue
+        range_plan = _range_plan_for_step(ready, bound_aliases, dim_aliases[step])
+        if range_plan is not None:
+            probe_ref, bounds = range_plan
+            step_plans.append(
+                (
+                    "range",
+                    (
+                        probe_ref.alias,
+                        schemas_by_alias[probe_ref.alias].index_of(probe_ref.attr),
+                    ),
+                    [
+                        (
+                            bound_ref.alias,
+                            schemas_by_alias[bound_ref.alias].index_of(
+                                bound_ref.attr
+                            ),
+                            shift,
+                            kind,
+                        )
+                        for bound_ref, shift, kind in bounds
+                    ],
+                )
+            )
+            continue
+        step_plans.append(None)
+
+    # Table-driven routing/ownership: record counts were validated against
+    # the cardinalities above, so the mapper and the ownership check can
+    # use the partitioner's precomputed arrays without per-record checks.
+    slab_components = partitioner.slab_components()
+    cell_widths = partitioner.cell_widths
+    slab_top = tuple(u - 1 for u in partitioner.used_side)
+    owner_of_ids = partitioner.owner_of_ids
+    num_dims = partitioner.dims
+
     def mapper(tag: str, record: object, ctx: TaskContext):
         dim = dim_of_tag[tag]
+        slab = ctx.record_index // cell_widths[dim]
+        if slab > slab_top[dim]:
+            slab = slab_top[dim]
         gid = ctx.record_index
-        for component in partitioner.components_for(dim, gid):
+        for component in slab_components[dim][slab]:
             yield component, (dim, gid, record)
 
     def reducer(component: object, values: List[object], ctx: TaskContext):
         per_dim: List[List[Tuple[int, Composite]]] = [
-            [] for _ in range(partitioner.dims)
+            [] for _ in range(num_dims)
         ]
         for dim, gid, composite in values:
             per_dim[dim].append((gid, composite))
@@ -243,27 +307,19 @@ def make_hypercube_join_job(
             if not candidates:
                 return
             ready = ready_at_step[step]
-            hash_plan = None
-            range_plan = None
-            if step > 0:
-                bound = {a for group in dim_aliases[:step] for a in group}
-                hash_plan = _hash_plan_for_step(ready, bound, dim_aliases[step])
-                if hash_plan is None:
-                    range_plan = _range_plan_for_step(
-                        ready, bound, dim_aliases[step]
-                    )
+            plan = step_plans[step]
             grown: List[Tuple[Tuple[int, ...], Composite]] = []
-            if hash_plan is not None:
+            if plan is not None and plan[0] == "hash":
                 # Probe by the equality part of the theta condition; only
                 # same-key candidates are tested pair-wise.
-                bound_refs, new_refs = hash_plan
+                _kind, bound_specs, new_specs = plan
                 index: Dict[Tuple[object, ...], List[Tuple[int, Composite]]] = {}
                 for gid, composite in candidates:
                     index.setdefault(
-                        _key_values(composite, new_refs, schemas_by_alias), []
+                        _key_values(composite, new_specs), []
                     ).append((gid, composite))
                 for ids, accumulated in partial:
-                    key = _key_values(accumulated, bound_refs, schemas_by_alias)
+                    key = _key_values(accumulated, bound_specs)
                     for gid, composite in index.get(key, ()):
                         ctx.charge_comparisons(1)
                         merged = merge_composites(accumulated, composite)
@@ -271,18 +327,14 @@ def make_hypercube_join_job(
                             continue
                         if _check(ready, merged, schemas_by_alias):
                             grown.append((ids + (gid,), merged))
-            elif range_plan is not None:
+            elif plan is not None:
                 # Sort once by the probed attribute, then bisect the value
                 # interval implied by each partial's bound attributes.
-                import bisect as _bisect
-
-                probe_ref, bounds = range_plan
-                probe_schema = schemas_by_alias[probe_ref.alias]
-                probe_idx = probe_schema.index_of(probe_ref.attr)
+                _kind, (probe_alias, probe_idx), bounds = plan
                 decorated = sorted(
                     (
                         (
-                            rows_by_alias(composite)[probe_ref.alias][probe_idx],
+                            rows_by_alias(composite)[probe_alias][probe_idx],
                             gid,
                             composite,
                         )
@@ -294,23 +346,16 @@ def make_hypercube_join_job(
                 for ids, accumulated in partial:
                     rows = rows_by_alias(accumulated)
                     lo, hi = 0, len(decorated)
-                    for bound_ref, shift, kind in bounds:
-                        bound_value = (
-                            rows[bound_ref.alias][
-                                schemas_by_alias[bound_ref.alias].index_of(
-                                    bound_ref.attr
-                                )
-                            ]
-                            + shift
-                        )
+                    for bound_alias, bound_idx, shift, kind in bounds:
+                        bound_value = rows[bound_alias][bound_idx] + shift
                         if kind == "lower":
-                            lo = max(lo, _bisect.bisect_right(values, bound_value))
+                            lo = max(lo, bisect.bisect_right(values, bound_value))
                         elif kind == "lower_eq":
-                            lo = max(lo, _bisect.bisect_left(values, bound_value))
+                            lo = max(lo, bisect.bisect_left(values, bound_value))
                         elif kind == "upper":
-                            hi = min(hi, _bisect.bisect_left(values, bound_value))
+                            hi = min(hi, bisect.bisect_left(values, bound_value))
                         else:  # upper_eq
-                            hi = min(hi, _bisect.bisect_right(values, bound_value))
+                            hi = min(hi, bisect.bisect_right(values, bound_value))
                     for position in range(lo, hi):
                         _, gid, composite = decorated[position]
                         ctx.charge_comparisons(1)
@@ -333,15 +378,23 @@ def make_hypercube_join_job(
                 return
         for ids, merged in partial:
             # Ownership rule: output only combinations whose joint grid
-            # cell falls in this reducer's curve segment.
-            if partitioner.owner_component(ids) == component:
+            # cell falls in this reducer's curve segment (two array
+            # lookups through the precomputed ownership table).
+            if owner_of_ids(ids) == component:
                 yield merged
 
-    composite_bytes = _composite_width_fn(schemas_by_alias)
+    # Every dimension's composites cover exactly dim_aliases[dim], so the
+    # shuffle-pair width is a fixed per-dimension constant.
+    row_widths = {
+        alias: schema.row_width for alias, schema in schemas_by_alias.items()
+    }
+    dim_value_width = [
+        16 + sum(16 + row_widths[alias] for alias in group)
+        for group in dim_aliases
+    ]
 
     def value_width(value: object) -> int:
-        _dim, _gid, composite = value  # type: ignore[misc]
-        return 16 + composite_bytes(composite)
+        return dim_value_width[value[0]]  # type: ignore[index]
 
     return MapReduceJobSpec(
         name=name,
@@ -409,18 +462,23 @@ def make_equi_join_job(
     all_aliases = sorted(left_aliases | right_aliases)
     output_width = composite_width(schemas_by_alias, all_aliases)
 
-    def key_of(composite: Composite) -> Tuple[object, ...]:
-        rows = rows_by_alias(composite)
-        key: List[object] = []
-        for predicate in key_predicates:
-            ref = predicate.left if predicate.left.alias in rows else predicate.right
-            schema = schemas_by_alias[ref.alias]
-            key.append(rows[ref.alias][schema.index_of(ref.attr)])
-        return tuple(key)
+    # Key attribute indices resolved once per side: a composite from the
+    # left input covers exactly left_aliases (and symmetrically), so the
+    # per-record alias test of the old key_of collapses to a static pick.
+    def _side_specs(side_aliases) -> List[Tuple[str, int]]:
+        refs = [
+            p.left if p.left.alias in side_aliases else p.right
+            for p in key_predicates
+        ]
+        return _resolve_refs(refs, schemas_by_alias)
+
+    left_key_specs = _side_specs(left_aliases)
+    right_key_specs = _side_specs(right_aliases)
 
     def mapper(tag: str, record: object, ctx: TaskContext):
         composite: Composite = record  # type: ignore[assignment]
-        yield ("k", key_of(composite)), (tag == left_tag, composite)
+        specs = left_key_specs if tag == left_tag else right_key_specs
+        yield ("k", _key_values(composite, specs)), (tag == left_tag, composite)
 
     def reducer(key: object, values: List[object], ctx: TaskContext):
         lefts = [c for from_left, c in values if from_left]
@@ -434,11 +492,16 @@ def make_equi_join_job(
                 if _check(list(conditions), merged, schemas_by_alias):
                     yield merged
 
-    composite_bytes = _composite_width_fn(schemas_by_alias)
+    # Fixed per-side widths: each side's composites cover a fixed alias set.
+    left_value_width = 2 + sum(
+        16 + schemas_by_alias[a].row_width for a in left_aliases
+    )
+    right_value_width = 2 + sum(
+        16 + schemas_by_alias[a].row_width for a in right_aliases
+    )
 
     def value_width(value: object) -> int:
-        _from_left, composite = value  # type: ignore[misc]
-        return 2 + composite_bytes(composite)
+        return left_value_width if value[0] else right_value_width  # type: ignore[index]
 
     return MapReduceJobSpec(
         name=name,
@@ -477,10 +540,9 @@ def make_broadcast_join_job(
     if big_file.tag == small_file.tag:
         raise ExecutionError(f"job {name!r}: inputs must carry distinct tags")
     big_tag = big_file.tag
-    all_aliases = sorted(
-        set(big_aliases or _file_aliases(big_file))
-        | set(small_aliases or _file_aliases(small_file))
-    )
+    big_alias_set = set(big_aliases or _file_aliases(big_file))
+    small_alias_set = set(small_aliases or _file_aliases(small_file))
+    all_aliases = sorted(big_alias_set | small_alias_set)
     output_width = composite_width(schemas_by_alias, all_aliases)
 
     def mapper(tag: str, record: object, ctx: TaskContext):
@@ -502,11 +564,16 @@ def make_broadcast_join_job(
                 if _check(list(conditions), merged, schemas_by_alias):
                     yield merged
 
-    composite_bytes = _composite_width_fn(schemas_by_alias)
+    # Fixed per-side widths: each side's composites cover a fixed alias set.
+    big_value_width = 6 + sum(
+        16 + schemas_by_alias[a].row_width for a in big_alias_set
+    )
+    small_value_width = 6 + sum(
+        16 + schemas_by_alias[a].row_width for a in small_alias_set
+    )
 
     def value_width(value: object) -> int:
-        _side, composite = value  # type: ignore[misc]
-        return 6 + composite_bytes(composite)
+        return big_value_width if value[0] == "big" else small_value_width  # type: ignore[index]
 
     return MapReduceJobSpec(
         name=name,
@@ -636,11 +703,15 @@ def make_equichain_join_job(
         seen.update(id(c) for c in ready)
         ready_at_step.append(ready)
 
+    key_spec_of_tag = {
+        tag: (ref.alias, schemas_by_alias[ref.alias].index_of(ref.attr))
+        for tag, ref in key_ref_of_tag.items()
+    }
+
     def mapper(tag: str, record: object, ctx: TaskContext):
         composite: Composite = record  # type: ignore[assignment]
-        ref = key_ref_of_tag[tag]
-        rows = rows_by_alias(composite)
-        key = rows[ref.alias][schemas_by_alias[ref.alias].index_of(ref.attr)]
+        alias, attr_index = key_spec_of_tag[tag]
+        key = rows_by_alias(composite)[alias][attr_index]
         yield ("k", key), (tag_index[tag], composite)
 
     def reducer(key: object, values: List[object], ctx: TaskContext):
@@ -667,11 +738,14 @@ def make_equichain_join_job(
         for merged in partial:
             yield merged
 
-    composite_bytes = _composite_width_fn(schemas_by_alias)
+    # Fixed per-input widths: input i's composites cover alias_groups[i].
+    input_value_width = [
+        8 + sum(16 + schemas_by_alias[a].row_width for a in group)
+        for group in alias_groups
+    ]
 
     def value_width(value: object) -> int:
-        _index, composite = value  # type: ignore[misc]
-        return 8 + composite_bytes(composite)
+        return input_value_width[value[0]]  # type: ignore[index]
 
     return MapReduceJobSpec(
         name=name,

@@ -111,22 +111,36 @@ class SimulatedCluster:
         ctx = TaskContext()
         pair_bytes = 0
         pair_count = 0
+        # Hot loop: one iteration per emitted (key, value) pair.  Bind the
+        # per-pair callables/constants once; join jobs precompute their
+        # pair widths per alias set, so width_fn is a constant lookup.
+        mapper = spec.mapper
+        partition = spec.partitioner
+        num_reducers = spec.num_reducers
+        fixed_width = spec.pair_width
+        width_fn = spec.pair_width_fn
         for file in spec.inputs:
+            tag = file.tag
             for position, record in enumerate(file.records):
                 ctx.record_index = position
-                for key, value in spec.mapper(file.tag, record, ctx):
-                    index = spec.partitioner(key, spec.num_reducers)
-                    if not 0 <= index < spec.num_reducers:
+                for key, value in mapper(tag, record, ctx):
+                    index = partition(key, num_reducers)
+                    if not 0 <= index < num_reducers:
                         raise ExecutionError(
                             f"job {spec.name!r}: partitioner returned {index} "
-                            f"outside [0, {spec.num_reducers})"
+                            f"outside [0, {num_reducers})"
                         )
-                    buckets[index].setdefault(key, []).append(value)
+                    bucket = buckets[index]
+                    values = bucket.get(key)
+                    if values is None:
+                        bucket[key] = [value]
+                    else:
+                        values.append(value)
                     pair_count += 1
-                    if spec.pair_width:
-                        pair_bytes += spec.pair_width
-                    elif spec.pair_width_fn is not None:
-                        pair_bytes += 12 + spec.pair_width_fn(value)
+                    if fixed_width:
+                        pair_bytes += fixed_width
+                    elif width_fn is not None:
+                        pair_bytes += 12 + width_fn(value)
                     else:
                         pair_bytes += 12 + estimate_width(value)
         metrics.map_output_records = pair_count
@@ -144,21 +158,27 @@ class SimulatedCluster:
         output_records: List[object] = []
         reducer_costs: List[float] = []
         config = self.config
+        reducer = spec.reducer
+        fixed_width = spec.pair_width
+        width_fn = spec.pair_width_fn
+        append_output = output_records.append
         for bucket in buckets:
             ctx = TaskContext()
             input_bytes = 0
             input_values = 0
             produced = 0
             for key, values in bucket.items():
-                if spec.pair_width:
-                    input_bytes += spec.pair_width * len(values)
-                elif spec.pair_width_fn is not None:
-                    input_bytes += sum(12 + spec.pair_width_fn(v) for v in values)
+                if fixed_width:
+                    input_bytes += fixed_width * len(values)
+                elif width_fn is not None:
+                    input_bytes += 12 * len(values) + sum(
+                        width_fn(v) for v in values
+                    )
                 else:
                     input_bytes += sum(12 + estimate_width(v) for v in values)
                 input_values += len(values)
-                for record in spec.reducer(key, values, ctx):
-                    output_records.append(record)
+                for record in reducer(key, values, ctx):
+                    append_output(record)
                     produced += 1
             metrics.reducer_input_bytes.append(input_bytes)
             metrics.reduce_comparisons += ctx.comparisons

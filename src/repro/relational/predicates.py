@@ -15,6 +15,7 @@ graph.
 from __future__ import annotations
 
 import enum
+import operator
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, Tuple
 
@@ -49,6 +50,11 @@ class ThetaOp(enum.Enum):
         return self.value
 
     @property
+    def as_function(self) -> Callable[[object, object], bool]:
+        """The comparison as a plain callable, for compiled hot loops."""
+        return _OP_FUNCTIONS[self]
+
+    @property
     def is_equality(self) -> bool:
         return self is ThetaOp.EQ
 
@@ -71,6 +77,15 @@ class ThetaOp(enum.Enum):
                 return op
         raise QueryError(f"unknown theta operator {symbol!r}")
 
+
+_OP_FUNCTIONS = {
+    ThetaOp.LT: operator.lt,
+    ThetaOp.LE: operator.le,
+    ThetaOp.EQ: operator.eq,
+    ThetaOp.GE: operator.ge,
+    ThetaOp.GT: operator.gt,
+    ThetaOp.NE: operator.ne,
+}
 
 _SWAPPED = {
     ThetaOp.LT: ThetaOp.GT,

@@ -94,6 +94,7 @@ class SampledJoinEstimator:
         samples = {a: self.sample_of(a) for a in aliases}
 
         work = 0
+        work_cap = self.work_cap
         bound: List[str] = [aliases[0]]
         partial: List[Dict[str, tuple]] = [
             {aliases[0]: row} for row in samples[aliases[0]].rows
@@ -105,16 +106,57 @@ class SampledJoinEstimator:
                 for c in conditions
                 if alias in c.aliases and set(c.aliases) <= set(bound)
             ]
+            # Compile the step's predicates once: attribute indices are
+            # resolved here instead of per probed combination, and each
+            # check is oriented so the already-bound side is its left
+            # operand (letting the bound value hoist out of the row loop).
+            new_schema = schemas[alias]
+            checks: List[tuple] = []
+            for condition in ready:
+                for predicate in condition.predicates:
+                    if predicate.left.alias == alias:
+                        new_ref, bound_ref = predicate.left, predicate.right
+                        op = predicate.op.swapped()
+                    else:
+                        new_ref, bound_ref = predicate.right, predicate.left
+                        op = predicate.op
+                    checks.append(
+                        (
+                            bound_ref.alias,
+                            schemas[bound_ref.alias].index_of(bound_ref.attr),
+                            bound_ref.offset,
+                            op.as_function,
+                            new_schema.index_of(new_ref.attr),
+                            new_ref.offset,
+                        )
+                    )
             rows = samples[alias].rows
             grown: List[Dict[str, tuple]] = []
             for combo in partial:
+                bound_side = [
+                    (
+                        combo[bound_alias][bound_idx] + bound_off
+                        if bound_off
+                        else combo[bound_alias][bound_idx],
+                        compare,
+                        new_idx,
+                        new_off,
+                    )
+                    for bound_alias, bound_idx, bound_off, compare, new_idx, new_off in checks
+                ]
                 for row in rows:
                     work += 1
-                    if work > self.work_cap:
+                    if work > work_cap:
                         return None
-                    candidate = dict(combo)
-                    candidate[alias] = row
-                    if all(c.evaluate(candidate, schemas) for c in ready):
+                    for bound_value, compare, new_idx, new_off in bound_side:
+                        new_value = row[new_idx]
+                        if new_off:
+                            new_value = new_value + new_off
+                        if not compare(bound_value, new_value):
+                            break
+                    else:
+                        candidate = dict(combo)
+                        candidate[alias] = row
                         grown.append(candidate)
             partial = grown
             if not partial:
