@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction repo.
+#
+#   make verify   - tier-1 test suite (ROADMAP.md's gate)
+#   make smoke    - REPRO_QUICK=1 answer-agreement + batch-vs-scalar smoke:
+#                   all four planners must produce identical answers, and
+#                   the batched map path must match the scalar one bit for
+#                   bit, on a trimmed volume grid (fast enough for CI)
+#   make bench    - hot-path microbenches (pytest-benchmark table)
+#   make hotpath  - append this revision's hot-path numbers to
+#                   BENCH_hotpaths.json (run with --label before first on
+#                   the pre-PR checkout when starting a perf PR)
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
+
+.PHONY: verify smoke bench hotpath
+
+verify:
+	$(PYTEST) -x -q
+
+smoke:
+	REPRO_QUICK=1 $(PYTEST) -q \
+		benchmarks/test_perf_hotpaths.py::test_smoke_all_methods_agree \
+		tests/joins/test_batch_equivalence.py
+
+bench:
+	$(PYTEST) -q benchmarks/test_perf_hotpaths.py
+
+hotpath:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/run_hotpath_bench.py --label after

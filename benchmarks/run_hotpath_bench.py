@@ -1,20 +1,28 @@
-"""Hot-path benchmark runner: times the codec, partitioner, kR sweep, and
-one end-to-end fig-10-style plan+execute run, and writes the numbers to
+"""Hot-path benchmark runner: times the codec, partitioner, kR sweep, the
+batched map phase, a warm-statistics-cache plan, and one end-to-end
+fig-10-style plan+execute run, and writes the numbers to
 ``BENCH_hotpaths.json`` at the repository root.
 
 Run once per PR touching the hot path so the repo keeps a perf trajectory:
 
     PYTHONPATH=src python benchmarks/run_hotpath_bench.py [--label after]
 
-The JSON holds one entry per label (e.g. ``before`` / ``after``), so the
-"before" numbers captured at the start of a PR survive next to the "after"
-numbers the finished PR ships with.
+The JSON holds one entry per label (e.g. ``before`` / ``after``) — the
+current PR's working view — plus a ``history`` list to which every run
+*appends* a record ``{rev, label, results[, speedup]}``.  History records
+are never mutated, so earlier PRs' numbers survive any later run
+(including a next PR's ``--label before`` run at the same revision).
+
+Every benchmark degrades gracefully on older revisions (``hasattr`` /
+import guards), so the same script can be run against a pre-PR checkout
+to capture honest "before" numbers.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -31,6 +39,22 @@ def _time(fn, repeat: int = 3) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _git_rev() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
 
 
 def bench_codec_decode(bits: int = 7, dims: int = 2) -> float:
@@ -91,6 +115,62 @@ def bench_kr_sweep(cards=(4000, 3000, 2000), max_reducers: int = 64) -> float:
     return _time(run)
 
 
+def _hypercube_spec(volume_gb: int = 20):
+    """A mobile-Q2-shaped hypercube job spec plus its cluster, for map-phase
+    timing without the planner in the loop."""
+    from repro.core.partitioner import HypercubePartitioner
+    from repro.joins.jobs import make_hypercube_join_job
+    from repro.joins.records import relation_to_composite_file
+    from repro.mapreduce.config import PAPER_CLUSTER_KP64
+    from repro.mapreduce.runtime import SimulatedCluster
+    from repro.workloads.mobile import mobile_benchmark_query
+
+    query = mobile_benchmark_query(2, volume_gb)
+    aliases = sorted(query.relations)
+    files = [
+        relation_to_composite_file(query.relations[a], a) for a in aliases
+    ]
+    cards = tuple(f.num_records for f in files)
+    partitioner = HypercubePartitioner(cards, 32)
+    schemas = {a: query.relations[a].schema for a in aliases}
+    spec = make_hypercube_join_job(
+        "bench-map-batch",
+        files,
+        [(a,) for a in aliases],
+        partitioner,
+        query.conditions,
+        schemas,
+    )
+    return SimulatedCluster(PAPER_CLUSTER_KP64), spec
+
+
+def bench_map_phase_batch() -> float:
+    """One batched (or, pre-PR, scalar) map phase of a 3-dim hypercube job."""
+    from repro.mapreduce.counters import JobMetrics
+
+    cluster, spec = _hypercube_spec()
+
+    def run():
+        cluster._run_map_phase(spec, JobMetrics(job_name=spec.name))
+
+    return _time(run)
+
+
+def bench_stats_cache_warm_plan() -> float:
+    """Planning with warm cross-query statistics (second plan of a query)."""
+    from repro.core.planner import ThetaJoinPlanner
+    from repro.mapreduce.config import PAPER_CLUSTER_KP64
+    from repro.workloads.mobile import mobile_benchmark_query
+
+    query = mobile_benchmark_query(2, 20)
+    ThetaJoinPlanner(PAPER_CLUSTER_KP64).plan(query)  # warm the cache
+
+    def run():
+        ThetaJoinPlanner(PAPER_CLUSTER_KP64).plan(query)
+
+    return _time(run)
+
+
 def bench_end_to_end() -> float:
     """Fig-10-style plan+execute: mobile Q2 at 20 GB on the kP<=64 cluster."""
     from repro.core.executor import PlanExecutor
@@ -118,6 +198,8 @@ def main() -> None:
         "codec_encode_full_grid_s": bench_codec_encode(),
         "partitioner_build_s": bench_partitioner_build(),
         "kr_sweep_s": bench_kr_sweep(),
+        "map_phase_batch_s": bench_map_phase_batch(),
+        "stats_cache_warm_plan_s": bench_stats_cache_warm_plan(),
         "end_to_end_fig10_q2_20gb_s": bench_end_to_end(),
     }
 
@@ -127,12 +209,25 @@ def main() -> None:
     existing[args.label] = results
     before = existing.get("before")
     after = existing.get("after")
+    speedup = None
     if before and after:
-        existing["speedup"] = {
+        speedup = {
             key: round(before[key] / after[key], 2)
             for key in after
             if key in before and after[key] > 0
         }
+        existing["speedup"] = speedup
+
+    # Trajectory: strictly append this run's record; never touch earlier
+    # ones (a later PR's --label before run may share a rev with the
+    # previous PR's head, and must not clobber its numbers).  The speedup
+    # snapshot rides on "after" runs only, where both labels are from the
+    # same PR's measurement pair.
+    record = {"rev": _git_rev(), "label": args.label, "results": results}
+    if args.label == "after" and speedup is not None:
+        record["speedup"] = speedup
+    existing.setdefault("history", []).append(record)
+
     OUTPUT.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
     print(json.dumps(existing, indent=2, sort_keys=True))
 

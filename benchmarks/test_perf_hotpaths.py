@@ -59,6 +59,34 @@ def test_perf_kr_sweep(benchmark):
     benchmark(sweep)
 
 
+def test_perf_map_phase_batch(benchmark):
+    """The batched map phase of a 3-dim hypercube join (mobile-Q2-shaped):
+    whole record chunks routed through the flat slab tables, mirroring
+    ``map_phase_batch_s`` in BENCH_hotpaths.json."""
+    from run_hotpath_bench import _hypercube_spec
+
+    from repro.mapreduce.counters import JobMetrics
+
+    cluster, spec = _hypercube_spec()
+    assert spec.batch_mapper is not None
+    benchmark(
+        lambda: cluster._run_map_phase(spec, JobMetrics(job_name=spec.name))
+    )
+
+
+def test_perf_stats_cache_warm_plan(benchmark):
+    """Planning against a warm cross-query statistics cache (the steady
+    state of a benchmark run), mirroring ``stats_cache_warm_plan_s``."""
+    query = mobile_benchmark_query(2, 20)
+    ThetaJoinPlanner(PAPER_CLUSTER_KP64).plan(query)  # warm the shared cache
+
+    def warm_plan():
+        return ThetaJoinPlanner(PAPER_CLUSTER_KP64).plan(query)
+
+    plan = benchmark(warm_plan)
+    assert plan.est_makespan_s > 0
+
+
 def test_perf_end_to_end_fig10_style(benchmark):
     volume = 20 if quick_mode() else 100
     query = mobile_benchmark_query(2, volume)

@@ -34,6 +34,7 @@ from repro.errors import PlanningError
 from repro.relational.query import JoinQuery
 from repro.relational.sampling import SampledJoinEstimator
 from repro.relational.statistics import SelectivityEstimator, StatisticsCatalog
+from repro.relational.stats_cache import PlanningCache
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,7 @@ class CandidateJobCosting:
         total_units: int,
         lam: float = LAMBDA_DEFAULT,
         estimator_cls: type = SelectivityEstimator,
+        planning_cache: Optional[PlanningCache] = None,
     ) -> None:
         if total_units < 1:
             raise PlanningError("total_units must be >= 1")
@@ -83,8 +85,9 @@ class CandidateJobCosting:
         #: for exact bucket-pair integration of range predicates.
         self.estimator = estimator_cls(catalog)
         #: Joint (correlation-aware) cardinalities from sample joins — the
-        #: paper's upload-time sampling statistics.
-        self.joint = SampledJoinEstimator(query, catalog)
+        #: paper's upload-time sampling statistics, shared across planners
+        #: through the process-wide :class:`PlanningCache` by default.
+        self.joint = SampledJoinEstimator(query, catalog, cache=planning_cache)
         self.relation_names = {
             alias: relation.name for alias, relation in query.relations.items()
         }

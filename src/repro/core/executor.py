@@ -54,6 +54,23 @@ from repro.mapreduce.hdfs import DistributedFile
 from repro.mapreduce.runtime import SimulatedCluster
 from repro.relational.query import JoinQuery
 from repro.relational.relation import Relation
+from repro.relational.stats_cache import _LRUTable, relation_fingerprint
+
+#: Base relations lifted to composite files, shared across executions by
+#: relation *content* — the four-planner comparisons re-execute the same
+#: query, and composite files are immutable once built, so re-lifting per
+#: execution was pure waste.  Keyed by (fingerprint, alias); bounded LRU.
+_COMPOSITE_FILE_CACHE = _LRUTable(max_entries=256)
+
+
+def lift_base_relation(relation: Relation, alias: str) -> DistributedFile:
+    """Memoized :func:`relation_to_composite_file` (content-keyed)."""
+    key = (relation_fingerprint(relation), alias)
+    hit, file = _COMPOSITE_FILE_CACHE.lookup(key)
+    if not hit:
+        file = relation_to_composite_file(relation, alias)
+        _COMPOSITE_FILE_CACHE.store(key, file)
+    return file  # type: ignore[return-value]
 
 
 @dataclass
@@ -85,9 +102,7 @@ class PlanExecutor:
 
         schemas = {alias: rel.schema for alias, rel in query.relations.items()}
         base_files = {
-            alias: self.cluster.hdfs.put(
-                relation_to_composite_file(relation, alias)
-            )
+            alias: self.cluster.hdfs.put(lift_base_relation(relation, alias))
             for alias, relation in query.relations.items()
         }
 

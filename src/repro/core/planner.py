@@ -43,6 +43,7 @@ from repro.mapreduce.config import ClusterConfig
 from repro.relational.predicates import JoinCondition
 from repro.relational.query import JoinQuery
 from repro.relational.statistics import SelectivityEstimator, StatisticsCatalog
+from repro.relational.stats_cache import PlanningCache, get_planning_cache
 
 
 def default_unit_options(total_units: int) -> List[int]:
@@ -79,6 +80,7 @@ class ThetaJoinPlanner:
         max_hops: Optional[int] = None,
         enable_pipelined: bool = True,
         estimator_cls: type = SelectivityEstimator,
+        planning_cache: Optional[PlanningCache] = None,
     ) -> None:
         self.config = config
         self.catalog = catalog or StatisticsCatalog()
@@ -86,6 +88,10 @@ class ThetaJoinPlanner:
         self.max_hops = max_hops
         self.enable_pipelined = enable_pipelined
         self.estimator_cls = estimator_cls
+        #: Cross-query statistics cache (samples, stats, join-sample
+        #: counts); the process-wide default is shared by every planner
+        #: instance, so repeated planning of identical data is ~free.
+        self.planning_cache = planning_cache or get_planning_cache()
         self.cost_model = MRJCostModel.for_cluster(config)
 
     # ------------------------------------------------------------------
@@ -101,6 +107,7 @@ class ThetaJoinPlanner:
             total_units=self.config.total_units,
             lam=self.lam,
             estimator_cls=self.estimator_cls,
+            planning_cache=self.planning_cache,
         )
         gjp = build_join_path_graph(graph, costing, max_hops=self.max_hops)
 
@@ -163,7 +170,7 @@ class ThetaJoinPlanner:
     def _ensure_statistics(self, query: JoinQuery) -> None:
         for relation in query.relations.values():
             if relation.name not in self.catalog:
-                self.catalog.add_relation(relation)
+                self.catalog.add_relation(relation, cache=self.planning_cache)
 
     def _job_id(self, blueprint: JobBlueprint) -> str:
         return "j" + "_".join(str(cid) for cid in sorted(blueprint.labels))

@@ -26,7 +26,7 @@ assumed.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.partitioner import HypercubePartitioner
 from repro.errors import ExecutionError
@@ -37,10 +37,15 @@ from repro.joins.records import (
     rows_by_alias,
 )
 from repro.mapreduce.hdfs import DistributedFile
-from repro.mapreduce.job import MapReduceJobSpec, TaskContext
+from repro.mapreduce.job import MapBatch, MapReduceJobSpec, TaskContext
 from repro.relational.predicates import JoinCondition
 from repro.relational.schema import Schema
 from repro.utils import stable_hash
+
+try:  # NumPy accelerates chunk routing; everything falls back cleanly.
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
 
 
 def _ready_conditions(
@@ -113,6 +118,17 @@ def _key_values(composite: Composite, specs: Sequence[Tuple[str, int]]):
     return tuple(rows[alias][index] for alias, index in specs)
 
 
+def _precomputed_keys(
+    file: DistributedFile, specs: Sequence[Tuple[str, int]]
+) -> List[Tuple[str, tuple]]:
+    """Shuffle key of every record of a composite file, in record order."""
+    keys: List[Tuple[str, tuple]] = []
+    for record in file.records:
+        rows = {alias: row for alias, _, row in record}
+        keys.append(("k", tuple(rows[alias][index] for alias, index in specs)))
+    return keys
+
+
 def _range_plan_for_step(
     ready: Sequence[JoinCondition],
     bound_aliases: Iterable[str],
@@ -176,6 +192,88 @@ def _check(
         return True
     rows = rows_by_alias(composite)
     return all(c.evaluate(rows, schemas) for c in conditions)
+
+
+def _compile_checks(
+    conditions: Sequence[JoinCondition], schemas: Mapping[str, Schema]
+) -> Callable[[Composite], bool]:
+    """Compile a condition conjunction into one composite -> bool callable.
+
+    Attribute indices and operator functions are resolved once at job
+    build time; predicates are evaluated in the exact order (and with the
+    exact short-circuiting) of :func:`_check`, so the result is
+    bit-identical while skipping the per-call schema lookups.
+    """
+    compiled = [
+        (
+            p.left.alias,
+            schemas[p.left.alias].index_of(p.left.attr),
+            p.left.offset,
+            p.op.as_function,
+            p.right.alias,
+            schemas[p.right.alias].index_of(p.right.attr),
+            p.right.offset,
+        )
+        for c in conditions
+        for p in c.predicates
+    ]
+
+    if not compiled:
+        return lambda composite: True
+
+    def check(composite: Composite) -> bool:
+        rows = {alias: row for alias, _, row in composite}
+        for l_alias, l_idx, l_off, compare, r_alias, r_idx, r_off in compiled:
+            left_value = rows[l_alias][l_idx]
+            if l_off:
+                left_value = left_value + l_off
+            right_value = rows[r_alias][r_idx]
+            if r_off:
+                right_value = right_value + r_off
+            if not compare(left_value, right_value):
+                return False
+        return True
+
+    return check
+
+
+#: Hash space for ranking keys; any fixed size far above key counts works.
+_SPREAD_SPACE = 1 << 61
+
+
+def make_keyspread_partitioner(keys: Iterable[object], num_reducers: int):
+    """Rank-balanced key -> reducer map over a *known* key population.
+
+    The simulator's scaling substitution makes every record — and every
+    shuffle key — stand for a large population of real ones, so modelling
+    key placement as ``hash(key) % n`` over a few dozen simulated keys
+    overstates reducer imbalance by orders of magnitude: real Hadoop
+    hashes millions of keys into the same reduce tasks and lands within a
+    fraction of a percent of perfect balance, unless the data itself is
+    skewed.  This partitioner reproduces that behaviour at simulation
+    granularity: keys are ranked by their (deterministic) hash and the
+    ranks spread evenly over the reducers.  It stays *skew-oblivious* —
+    a hot key's whole group still lands on one reducer, which is exactly
+    the skew the paper's balanced partitioning is measured against; only
+    the artificial collision noise of coarse-grained keys is removed.
+
+    Returns ``(partitioner, mapping)`` — the mapping is shared with batch
+    mappers so scalar and batched routing are the same table lookup.
+    """
+    ranked = sorted(
+        set(keys), key=lambda key: (stable_hash(key, _SPREAD_SPACE), repr(key))
+    )
+    count = len(ranked)
+    if count == 0:
+        from repro.mapreduce.job import default_partitioner
+
+        return default_partitioner, {}
+    mapping = {key: (rank * num_reducers) // count for rank, key in enumerate(ranked)}
+
+    def partition(key: object, _num_reducers: int) -> int:
+        return mapping[key]
+
+    return partition, mapping
 
 
 # ---------------------------------------------------------------------------
@@ -285,6 +383,17 @@ def make_hypercube_join_job(
     slab_top = tuple(u - 1 for u in partitioner.used_side)
     owner_of_ids = partitioner.owner_of_ids
     num_dims = partitioner.dims
+    num_components = partitioner.num_components
+
+    # Every dimension's composites cover exactly dim_aliases[dim], so the
+    # shuffle-pair width is a fixed per-dimension constant.
+    row_widths = {
+        alias: schema.row_width for alias, schema in schemas_by_alias.items()
+    }
+    dim_value_width = [
+        16 + sum(16 + row_widths[alias] for alias in group)
+        for group in dim_aliases
+    ]
 
     def mapper(tag: str, record: object, ctx: TaskContext):
         dim = dim_of_tag[tag]
@@ -294,6 +403,73 @@ def make_hypercube_join_job(
         gid = ctx.record_index
         for component in slab_components[dim][slab]:
             yield component, (dim, gid, record)
+
+    def batch_mapper(tag: str, records: Sequence[object], base_index: int) -> MapBatch:
+        """Route a whole record chunk through the flat slab tables.
+
+        Contiguous global ids share a grid slab, so routing happens per
+        *span* of records instead of per record: each span's value tuples
+        are built once and shared by every component the slab intersects
+        (the scalar path allocates one tuple per emitted pair).
+        """
+        dim = dim_of_tag[tag]
+        width = cell_widths[dim]
+        top = slab_top[dim]
+        components_of_slab = slab_components[dim]
+        pair_width = 12 + dim_value_width[dim]
+        buckets: List[Dict[object, List[object]]] = [
+            {} for _ in range(num_components)
+        ]
+        count = len(records)
+        # (slab, lo, hi) spans in chunk-local coordinates; slabs clamp to
+        # the top used slab exactly as the scalar mapper does.
+        spans: List[Tuple[int, int, int]] = []
+        if _np is not None and count > 1024:
+            slabs = _np.minimum(
+                _np.arange(base_index, base_index + count) // width, top
+            )
+            breaks = _np.flatnonzero(slabs[1:] != slabs[:-1]) + 1
+            edges = [0, *breaks.tolist(), count]
+            spans = [
+                (int(slabs[edges[i]]), edges[i], edges[i + 1])
+                for i in range(len(edges) - 1)
+            ]
+        else:
+            lo = 0
+            while lo < count:
+                slab = (base_index + lo) // width
+                if slab >= top:
+                    spans.append((top, lo, count))
+                    break
+                hi = min(count, (slab + 1) * width - base_index)
+                spans.append((slab, lo, hi))
+                lo = hi
+        pair_count = 0
+        for slab, lo, hi in spans:
+            values = [
+                (dim, base_index + position, records[position])
+                for position in range(lo, hi)
+            ]
+            components = components_of_slab[slab]
+            pair_count += (hi - lo) * len(components)
+            first = True
+            for component in components:
+                bucket = buckets[component]
+                existing = bucket.get(component)
+                if existing is not None:
+                    existing.extend(values)
+                elif first:
+                    bucket[component] = values
+                else:
+                    bucket[component] = list(values)
+                first = False
+        return MapBatch(buckets, pair_count, pair_count * pair_width)
+
+    # Progressive-check conjunctions compiled once per step (resolved
+    # attribute indices + operator functions; bit-identical to _check).
+    step_checks = [
+        _compile_checks(ready, schemas_by_alias) for ready in ready_at_step
+    ]
 
     def reducer(component: object, values: List[object], ctx: TaskContext):
         per_dim: List[List[Tuple[int, Composite]]] = [
@@ -306,7 +482,7 @@ def make_hypercube_join_job(
         for step, candidates in enumerate(per_dim):
             if not candidates:
                 return
-            ready = ready_at_step[step]
+            ready_check = step_checks[step]
             plan = step_plans[step]
             grown: List[Tuple[Tuple[int, ...], Composite]] = []
             if plan is not None and plan[0] == "hash":
@@ -325,7 +501,7 @@ def make_hypercube_join_job(
                         merged = merge_composites(accumulated, composite)
                         if merged is None:
                             continue
-                        if _check(ready, merged, schemas_by_alias):
+                        if ready_check(merged):
                             grown.append((ids + (gid,), merged))
             elif plan is not None:
                 # Sort once by the probed attribute, then bisect the value
@@ -362,7 +538,7 @@ def make_hypercube_join_job(
                         merged = merge_composites(accumulated, composite)
                         if merged is None:
                             continue
-                        if _check(ready, merged, schemas_by_alias):
+                        if ready_check(merged):
                             grown.append((ids + (gid,), merged))
             else:
                 for ids, accumulated in partial:
@@ -371,7 +547,7 @@ def make_hypercube_join_job(
                         merged = merge_composites(accumulated, composite)
                         if merged is None:
                             continue
-                        if _check(ready, merged, schemas_by_alias):
+                        if ready_check(merged):
                             grown.append((ids + (gid,), merged))
             partial = grown
             if not partial:
@@ -383,16 +559,6 @@ def make_hypercube_join_job(
             if owner_of_ids(ids) == component:
                 yield merged
 
-    # Every dimension's composites cover exactly dim_aliases[dim], so the
-    # shuffle-pair width is a fixed per-dimension constant.
-    row_widths = {
-        alias: schema.row_width for alias, schema in schemas_by_alias.items()
-    }
-    dim_value_width = [
-        16 + sum(16 + row_widths[alias] for alias in group)
-        for group in dim_aliases
-    ]
-
     def value_width(value: object) -> int:
         return dim_value_width[value[0]]  # type: ignore[index]
 
@@ -401,9 +567,10 @@ def make_hypercube_join_job(
         inputs=list(dim_files),
         mapper=mapper,
         reducer=reducer,
-        num_reducers=partitioner.num_components,
+        num_reducers=num_components,
         output_record_width=output_width,
         pair_width_fn=value_width,
+        batch_mapper=batch_mapper,
         output_name=output_name or f"{name}.out",
     )
 
@@ -475,10 +642,24 @@ def make_equi_join_job(
     left_key_specs = _side_specs(left_aliases)
     right_key_specs = _side_specs(right_aliases)
 
+    # The whole key population is known at build time (the simulator hands
+    # the builder complete files), which enables two things: the
+    # rank-balanced key-spread shuffle placement, and batch mapping that
+    # reuses the precomputed per-record keys instead of re-deriving them.
+    keys_of_tag = {
+        left_tag: _precomputed_keys(left_file, left_key_specs),
+        right_tag: _precomputed_keys(right_file, right_key_specs),
+    }
+    partition, _key_map = make_keyspread_partitioner(
+        (key for keys in keys_of_tag.values() for key in keys), num_reducers
+    )
+
     def mapper(tag: str, record: object, ctx: TaskContext):
         composite: Composite = record  # type: ignore[assignment]
         specs = left_key_specs if tag == left_tag else right_key_specs
         yield ("k", _key_values(composite, specs)), (tag == left_tag, composite)
+
+    check = _compile_checks(list(conditions), schemas_by_alias)
 
     def reducer(key: object, values: List[object], ctx: TaskContext):
         lefts = [c for from_left, c in values if from_left]
@@ -489,7 +670,7 @@ def make_equi_join_job(
                 merged = merge_composites(left, right)
                 if merged is None:
                     continue
-                if _check(list(conditions), merged, schemas_by_alias):
+                if check(merged):
                     yield merged
 
     # Fixed per-side widths: each side's composites cover a fixed alias set.
@@ -503,14 +684,34 @@ def make_equi_join_job(
     def value_width(value: object) -> int:
         return left_value_width if value[0] else right_value_width  # type: ignore[index]
 
+    def batch_mapper(tag: str, records: Sequence[object], base_index: int) -> MapBatch:
+        from_left = tag == left_tag
+        keys = keys_of_tag[tag]
+        pair_width = 12 + (left_value_width if from_left else right_value_width)
+        buckets: List[Dict[object, List[object]]] = [
+            {} for _ in range(num_reducers)
+        ]
+        for offset, record in enumerate(records):
+            key = keys[base_index + offset]
+            value = (from_left, record)
+            bucket = buckets[partition(key, num_reducers)]
+            existing = bucket.get(key)
+            if existing is None:
+                bucket[key] = [value]
+            else:
+                existing.append(value)
+        return MapBatch(buckets, len(records), len(records) * pair_width)
+
     return MapReduceJobSpec(
         name=name,
         inputs=[left_file, right_file],
         mapper=mapper,
         reducer=reducer,
         num_reducers=num_reducers,
+        partitioner=partition,
         output_record_width=output_width,
         pair_width_fn=value_width,
+        batch_mapper=batch_mapper,
         output_name=output_name or f"{name}.out",
     )
 
@@ -552,6 +753,8 @@ def make_broadcast_join_job(
             for component in range(num_reducers):
                 yield component, ("small", record)
 
+    check = _compile_checks(list(conditions), schemas_by_alias)
+
     def reducer(component: object, values: List[object], ctx: TaskContext):
         bigs = [c for side, c in values if side == "big"]
         smalls = [c for side, c in values if side == "small"]
@@ -561,7 +764,7 @@ def make_broadcast_join_job(
                 merged = merge_composites(big, small)
                 if merged is None:
                     continue
-                if _check(list(conditions), merged, schemas_by_alias):
+                if check(merged):
                     yield merged
 
     # Fixed per-side widths: each side's composites cover a fixed alias set.
@@ -575,6 +778,37 @@ def make_broadcast_join_job(
     def value_width(value: object) -> int:
         return big_value_width if value[0] == "big" else small_value_width  # type: ignore[index]
 
+    def batch_mapper(tag: str, records: Sequence[object], base_index: int) -> MapBatch:
+        buckets: List[Dict[object, List[object]]] = [
+            {} for _ in range(num_reducers)
+        ]
+        if tag == big_tag:
+            for offset, record in enumerate(records):
+                index = stable_hash(("b", base_index + offset), num_reducers)
+                value = ("big", record)
+                bucket = buckets[index]
+                existing = bucket.get(index)
+                if existing is None:
+                    bucket[index] = [value]
+                else:
+                    existing.append(value)
+            pair_count = len(records)
+            pair_bytes = pair_count * (12 + big_value_width)
+        else:
+            # Replicate: the same value tuple is shared by every reducer.
+            for record in records:
+                value = ("small", record)
+                for component in range(num_reducers):
+                    bucket = buckets[component]
+                    existing = bucket.get(component)
+                    if existing is None:
+                        bucket[component] = [value]
+                    else:
+                        existing.append(value)
+            pair_count = len(records) * num_reducers
+            pair_bytes = pair_count * (12 + small_value_width)
+        return MapBatch(buckets, pair_count, pair_bytes)
+
     return MapReduceJobSpec(
         name=name,
         inputs=[big_file, small_file],
@@ -583,6 +817,7 @@ def make_broadcast_join_job(
         num_reducers=num_reducers,
         output_record_width=output_width,
         pair_width_fn=value_width,
+        batch_mapper=batch_mapper,
         output_name=output_name or f"{name}.out",
     )
 
@@ -708,11 +943,29 @@ def make_equichain_join_job(
         for tag, ref in key_ref_of_tag.items()
     }
 
+    # Build-time key scan: enables the rank-balanced key-spread shuffle
+    # and lets the batch mapper reuse precomputed keys.
+    keys_of_tag: Dict[str, List[Tuple[str, object]]] = {}
+    for file in input_files:
+        alias, attr_index = key_spec_of_tag[file.tag]
+        file_keys: List[Tuple[str, object]] = []
+        for record in file.records:
+            rows = {a: row for a, _, row in record}
+            file_keys.append(("k", rows[alias][attr_index]))
+        keys_of_tag[file.tag] = file_keys
+    partition, _key_map = make_keyspread_partitioner(
+        (key for keys in keys_of_tag.values() for key in keys), num_reducers
+    )
+
     def mapper(tag: str, record: object, ctx: TaskContext):
         composite: Composite = record  # type: ignore[assignment]
         alias, attr_index = key_spec_of_tag[tag]
         key = rows_by_alias(composite)[alias][attr_index]
         yield ("k", key), (tag_index[tag], composite)
+
+    step_checks = [
+        _compile_checks(ready, schemas_by_alias) for ready in ready_at_step
+    ]
 
     def reducer(key: object, values: List[object], ctx: TaskContext):
         per_input: List[List[Composite]] = [[] for _ in input_files]
@@ -722,7 +975,7 @@ def make_equichain_join_job(
         for step, candidates in enumerate(per_input):
             if not candidates:
                 return
-            ready = ready_at_step[step]
+            ready_check = step_checks[step]
             grown: List[Composite] = []
             for accumulated in partial:
                 for composite in candidates:
@@ -730,7 +983,7 @@ def make_equichain_join_job(
                     merged = merge_composites(accumulated, composite)
                     if merged is None:
                         continue
-                    if _check(ready, merged, schemas_by_alias):
+                    if ready_check(merged):
                         grown.append(merged)
             partial = grown
             if not partial:
@@ -747,13 +1000,33 @@ def make_equichain_join_job(
     def value_width(value: object) -> int:
         return input_value_width[value[0]]  # type: ignore[index]
 
+    def batch_mapper(tag: str, records: Sequence[object], base_index: int) -> MapBatch:
+        keys = keys_of_tag[tag]
+        index = tag_index[tag]
+        pair_width = 12 + input_value_width[index]
+        buckets: List[Dict[object, List[object]]] = [
+            {} for _ in range(num_reducers)
+        ]
+        for offset, record in enumerate(records):
+            key = keys[base_index + offset]
+            value = (index, record)
+            bucket = buckets[partition(key, num_reducers)]
+            existing = bucket.get(key)
+            if existing is None:
+                bucket[key] = [value]
+            else:
+                existing.append(value)
+        return MapBatch(buckets, len(records), len(records) * pair_width)
+
     return MapReduceJobSpec(
         name=name,
         inputs=list(input_files),
         mapper=mapper,
         reducer=reducer,
         num_reducers=num_reducers,
+        partitioner=partition,
         output_record_width=output_width,
         pair_width_fn=value_width,
+        batch_mapper=batch_mapper,
         output_name=output_name or f"{name}.out",
     )

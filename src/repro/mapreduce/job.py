@@ -10,7 +10,7 @@ the single user-supplied scheduling parameter RN(MRJ) the paper optimises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
 from repro.mapreduce.hdfs import DistributedFile
@@ -47,6 +47,31 @@ Mapper = Callable[[str, object, TaskContext], Iterable[Tuple[object, object]]]
 Reducer = Callable[[object, List[object], TaskContext], Iterable[object]]
 #: partitioner(key, num_reducers) -> reducer index
 Partitioner = Callable[[object, int], int]
+
+
+@dataclass
+class MapBatch:
+    """Pre-bucketed map output for one chunk of input records.
+
+    ``buckets[r]`` holds the chunk's shuffle groups destined for reduce
+    task ``r``, keyed by shuffle key with values in emission order —
+    exactly the structure the scalar map loop builds pair by pair, so the
+    runtime merges chunk batches with dict/list extends instead of
+    re-routing every pair.  ``pair_count``/``pair_bytes`` carry the
+    chunk's map-output counters (bytes include the 12-byte per-pair
+    header the scalar path charges).
+    """
+
+    buckets: List[Dict[object, List[object]]]
+    pair_count: int
+    pair_bytes: int
+
+
+#: batch_mapper(source_tag, records, base_index) -> MapBatch; ``records``
+#: is a contiguous slice of the input file starting at ``base_index``.
+#: Must emit exactly what the scalar mapper would for the same records,
+#: in the same order — the runtime's equivalence tests hold it to that.
+BatchMapper = Callable[[str, Sequence[object], int], MapBatch]
 
 
 def default_partitioner(key: object, num_reducers: int) -> int:
@@ -106,6 +131,12 @@ class MapReduceJobSpec:
     #: generic estimate.  Join jobs use this to account for schema-declared
     #: row widths (which may be far larger than the in-memory tuples).
     pair_width_fn: Optional[Callable[[object], int]] = None
+    #: Optional vectorized mapper: maps a whole record chunk in one call,
+    #: returning pre-bucketed arrays (:class:`MapBatch`).  When present the
+    #: runtime prefers it over the per-record ``mapper``; both must agree
+    #: exactly (same buckets, same counters) — ``mapper`` remains the
+    #: executable specification.
+    batch_mapper: Optional[BatchMapper] = None
     output_name: str = ""
 
     def __post_init__(self) -> None:

@@ -21,7 +21,8 @@ need "measured" times distinct from model estimates use a small sigma.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
 from repro.mapreduce.config import ClusterConfig
@@ -29,11 +30,26 @@ from repro.mapreduce.counters import JobMetrics
 from repro.mapreduce.hdfs import DistributedFile, SimulatedHDFS
 from repro.mapreduce.job import (
     JobResult,
+    MapBatch,
     MapReduceJobSpec,
     TaskContext,
     estimate_width,
 )
 from repro.utils import ceil_div, make_rng
+
+#: Environment switch for shard-parallel batched mapping: the number of
+#: worker threads (and the chunking fan-out).  The default of 1 keeps the
+#: map loop serial — results are bit-identical either way, because chunk
+#: batches are merged in deterministic input order.
+MAP_SHARDS_ENV = "REPRO_MAP_SHARDS"
+
+
+def map_shard_count() -> int:
+    """Worker threads for the batched map phase (>= 1)."""
+    try:
+        return max(1, int(os.environ.get(MAP_SHARDS_ENV, "1")))
+    except ValueError:
+        return 1
 
 
 class SimulatedCluster:
@@ -105,6 +121,9 @@ class SimulatedCluster:
         if metrics.num_map_tasks == 0:
             raise ExecutionError(f"job {spec.name!r}: all inputs are empty")
 
+        if spec.batch_mapper is not None:
+            return self._run_map_phase_batched(spec, metrics)
+
         buckets: List[Dict[object, List[object]]] = [
             {} for _ in range(spec.num_reducers)
         ]
@@ -147,6 +166,77 @@ class SimulatedCluster:
         metrics.map_output_bytes = pair_bytes
         metrics.shuffle_bytes = pair_bytes
         return buckets, ctx
+
+    def _run_map_phase_batched(
+        self, spec: MapReduceJobSpec, metrics: JobMetrics
+    ) -> Tuple[List[Dict[object, List[object]]], TaskContext]:
+        """Batched map phase: whole record chunks per call, merged in order.
+
+        Each input file is cut into contiguous chunks; ``batch_mapper``
+        turns a chunk into a pre-bucketed :class:`MapBatch`; batches are
+        merged into the global buckets strictly in chunk order, so key
+        insertion order and per-key value order — hence reducer iteration
+        order, metrics, and answers — are identical to the scalar loop.
+        Chunks are independent, which is what lets them shard across a
+        thread pool (``REPRO_MAP_SHARDS``) without changing any output.
+        """
+        shards = map_shard_count()
+        chunks: List[Tuple[str, Sequence[object], int]] = []
+        for file in spec.inputs:
+            records = file.records
+            if not records:
+                continue
+            if shards <= 1:
+                chunks.append((file.tag, records, 0))
+                continue
+            per_chunk = max(1, ceil_div(len(records), shards))
+            for start in range(0, len(records), per_chunk):
+                chunks.append((file.tag, records[start : start + per_chunk], start))
+
+        batch_mapper = spec.batch_mapper
+        assert batch_mapper is not None
+        if shards > 1 and len(chunks) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=shards) as pool:
+                batches = list(
+                    pool.map(lambda chunk: batch_mapper(*chunk), chunks)
+                )
+        else:
+            batches = [batch_mapper(*chunk) for chunk in chunks]
+
+        buckets: List[Dict[object, List[object]]] = [
+            {} for _ in range(spec.num_reducers)
+        ]
+        pair_count = 0
+        pair_bytes = 0
+        for batch in batches:  # deterministic: input/chunk order
+            if len(batch.buckets) != spec.num_reducers:
+                raise ExecutionError(
+                    f"job {spec.name!r}: batch mapper produced "
+                    f"{len(batch.buckets)} buckets for {spec.num_reducers} reducers"
+                )
+            pair_count += batch.pair_count
+            pair_bytes += batch.pair_bytes
+            for index, chunk_bucket in enumerate(batch.buckets):
+                if not chunk_bucket:
+                    continue
+                bucket = buckets[index]
+                if not bucket:
+                    # First batch to reach this reducer: adopt its groups
+                    # wholesale (chunk buckets are fresh, never shared).
+                    buckets[index] = chunk_bucket
+                    continue
+                for key, values in chunk_bucket.items():
+                    existing = bucket.get(key)
+                    if existing is None:
+                        bucket[key] = values
+                    else:
+                        existing.extend(values)
+        metrics.map_output_records = pair_count
+        metrics.map_output_bytes = pair_bytes
+        metrics.shuffle_bytes = pair_bytes
+        return buckets, TaskContext()
 
     def _run_reduce_phase(
         self,

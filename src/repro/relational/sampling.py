@@ -11,7 +11,10 @@ joining samples.
 :class:`SampledJoinEstimator` progressively joins per-relation samples
 for any connected set of conditions, with a work cap; when the cap is
 exceeded it falls back to the histogram-product estimate.  Results are
-cached per condition set.
+cached per condition set within an estimator, and the raw sample-join
+observations are shared *across* estimators, planners, and queries via
+the process-wide :class:`~repro.relational.stats_cache.PlanningCache`
+(keyed by relation content, so the sharing is exact, never heuristic).
 """
 
 from __future__ import annotations
@@ -22,6 +25,11 @@ from repro.relational.predicates import JoinCondition
 from repro.relational.query import JoinQuery
 from repro.relational.relation import Relation
 from repro.relational.statistics import SelectivityEstimator, StatisticsCatalog
+from repro.relational.stats_cache import (
+    PlanningCache,
+    get_planning_cache,
+    relation_fingerprint,
+)
 from repro.utils import make_rng
 
 
@@ -34,25 +42,30 @@ class SampledJoinEstimator:
         catalog: StatisticsCatalog,
         sample_rows: int = 400,
         work_cap: int = 3_000_000,
+        cache: Optional[PlanningCache] = None,
     ) -> None:
         self.query = query
         self.catalog = catalog
         self.sample_rows = sample_rows
         self.work_cap = work_cap
+        #: Shared cross-query cache; defaults to the process-wide one.
+        self.planning_cache = cache if cache is not None else get_planning_cache()
         self._fallback = SelectivityEstimator(catalog)
         self._relation_names = {
             alias: relation.name for alias, relation in query.relations.items()
         }
         self._samples: Dict[str, Relation] = {}
         self._cache: Dict[FrozenSet[int], float] = {}
+        self._alias_fingerprints: Dict[str, tuple] = {}
+        self._condition_signatures: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
 
     def sample_of(self, alias: str) -> Relation:
         if alias not in self._samples:
             relation = self.query.relations[alias]
-            self._samples[alias] = relation.sample(
-                self.sample_rows, make_rng("join-sample", relation.name, alias)
+            self._samples[alias] = self.planning_cache.sample(
+                relation, alias, self.sample_rows
             )
         return self._samples[alias]
 
@@ -60,7 +73,8 @@ class SampledJoinEstimator:
         """P[a random tuple combination satisfies all ``conditions``].
 
         The conditions must form a connected set (they do for any prefix
-        of a planner path).  Cached by condition-id set.
+        of a planner path).  Cached by condition-id set within this
+        estimator, and by structural signature across estimators.
         """
         if not conditions:
             return 1.0
@@ -68,11 +82,25 @@ class SampledJoinEstimator:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        value = self._sample_join(list(conditions))
-        if value is None:
+        observation = self._sample_join_counts(list(conditions))
+        if observation is None:
+            # Disconnected set or work-cap overflow: histogram product.
             value = self._fallback.conditions_selectivity(
                 conditions, self._relation_names
             )
+        else:
+            matches, denominator = observation
+            if matches:
+                value = matches / denominator
+            else:
+                # Zero sample matches: bound above by "below one sample
+                # hit", but never report exactly zero (the true join may
+                # be tiny and a zero estimate would make every plan look
+                # free).
+                fallback = self._fallback.conditions_selectivity(
+                    conditions, self._relation_names
+                )
+                value = max(min(0.5 / denominator, fallback), 0.1 / denominator)
         self._cache[key] = value
         return value
 
@@ -85,8 +113,59 @@ class SampledJoinEstimator:
         return rows
 
     # ------------------------------------------------------------------
+    # cross-query signature (what a sample-join observation depends on)
+    # ------------------------------------------------------------------
 
-    def _sample_join(self, conditions: List[JoinCondition]) -> Optional[float]:
+    def _alias_fingerprint(self, alias: str) -> tuple:
+        fingerprint = self._alias_fingerprints.get(alias)
+        if fingerprint is None:
+            fingerprint = relation_fingerprint(self.query.relations[alias])
+            self._alias_fingerprints[alias] = fingerprint
+        return fingerprint
+
+    def _condition_signature(self, condition: JoinCondition) -> tuple:
+        signature = self._condition_signatures.get(condition.condition_id)
+        if signature is None:
+            signature = tuple(
+                (
+                    (p.left.alias, p.left.attr, p.left.offset),
+                    p.op.value,
+                    (p.right.alias, p.right.attr, p.right.offset),
+                )
+                for p in condition.predicates
+            )
+            self._condition_signatures[condition.condition_id] = signature
+        return signature
+
+    def _signature(self, conditions: Sequence[JoinCondition]) -> tuple:
+        """Everything the (matches, denominator) counts depend on: the
+        participating relations' *content*, the alias wiring, the
+        predicate structure, and the sampling parameters."""
+        aliases = sorted({a for c in conditions for a in c.aliases})
+        alias_fps = tuple((a, self._alias_fingerprint(a)) for a in aliases)
+        condition_sigs = frozenset(self._condition_signature(c) for c in conditions)
+        return (alias_fps, condition_sigs, self.sample_rows, self.work_cap)
+
+    # ------------------------------------------------------------------
+
+    def _sample_join_counts(
+        self, conditions: List[JoinCondition]
+    ) -> Optional[Tuple[int, int]]:
+        """(matches, denominator) of the progressive sample join, served
+        from the shared planning cache when an identical join (same
+        relation content, predicates, and sample params) was observed
+        before — by this planner or any other in the process."""
+        signature = self._signature(conditions)
+        hit, observation = self.planning_cache.join_observation(signature)
+        if hit:
+            return observation
+        observation = self._run_sample_join(conditions)
+        self.planning_cache.store_join_observation(signature, observation)
+        return observation
+
+    def _run_sample_join(
+        self, conditions: List[JoinCondition]
+    ) -> Optional[Tuple[int, int]]:
         aliases = self._connected_order(conditions)
         if aliases is None:
             return None
@@ -162,20 +241,10 @@ class SampledJoinEstimator:
             if not partial:
                 break
         matches = len(partial)
-        denominator = 1.0
+        denominator = 1
         for alias in aliases:
             denominator *= max(1, len(samples[alias]))
-        observed = matches / denominator
-        if matches == 0:
-            # Zero sample matches: bound above by "below one sample hit",
-            # but never report exactly zero (the true join may be tiny and
-            # a zero estimate would make every plan look free).
-            fallback = self._fallback.conditions_selectivity(
-                conditions, self._relation_names
-            )
-            bounded = min(0.5 / denominator, fallback)
-            return max(bounded, 0.1 / denominator)
-        return observed
+        return matches, denominator
 
     def _connected_order(self, conditions: List[JoinCondition]) -> Optional[List[str]]:
         """Alias order where each new alias connects to a bound one."""

@@ -207,8 +207,19 @@ class StatisticsCatalog:
     def add(self, stats: RelationStats) -> None:
         self._stats[stats.name] = stats
 
-    def add_relation(self, relation: Relation, sample_size: int = 2000) -> RelationStats:
-        stats = compute_relation_stats(relation, sample_size=sample_size)
+    def add_relation(
+        self, relation: Relation, sample_size: int = 2000, cache=None
+    ) -> RelationStats:
+        """Compute (or fetch from a :class:`PlanningCache`) and register stats.
+
+        ``cache`` is any object with a ``relation_stats(relation,
+        sample_size)`` method — duck-typed so this module stays free of a
+        dependency on :mod:`repro.relational.stats_cache`.
+        """
+        if cache is not None:
+            stats = cache.relation_stats(relation, sample_size=sample_size)
+        else:
+            stats = compute_relation_stats(relation, sample_size=sample_size)
         self.add(stats)
         return stats
 

@@ -1,0 +1,225 @@
+"""Cross-query planning-statistics cache (the paper's upload-time stats).
+
+The paper collects per-relation statistics *once*, when data is uploaded
+(Section 6.3), and every later query plans against them.  Before this
+module existed the repository recomputed them per planner instance: each
+:class:`~repro.relational.sampling.SampledJoinEstimator` re-drew its
+per-relation samples and re-joined them, and every
+:class:`~repro.relational.statistics.StatisticsCatalog` re-scanned the
+relations — so a four-planner comparison or a kR sweep paid the same
+sampling work over and over.
+
+:class:`PlanningCache` is the shared store that fixes this.  It caches
+
+* per-relation **samples** keyed by ``(relation fingerprint, alias,
+  sample_rows)`` — the RNG stream is derived from ``(relation name,
+  alias)``, so the key pins everything the sample depends on;
+* **relation statistics** (:class:`RelationStats`) keyed by
+  ``(relation fingerprint, sample_size, buckets)``;
+* **join-sample observations** — the ``(matches, denominator)`` counts of
+  a sample join (or ``None`` when the work cap was exceeded) — keyed by
+  the structural signature of the condition set plus the fingerprints of
+  every participating relation and the sample parameters.  Observations
+  are cached instead of final selectivities so a different fallback
+  estimator can never be served another estimator's blend.
+
+Fingerprints are **content-based**: relation name, cardinality, schema
+widths, and a digest of the rows.  Two relations with identical content
+(e.g. the same deterministic workload generator called twice) therefore
+share cache entries, while any change in content — or an in-place
+``append`` — changes the fingerprint and orphans stale entries.  Rows
+mutated *in place* (never done by this code base) are not detected;
+call :meth:`PlanningCache.invalidate` after any such surgery.
+
+A process-wide default instance (:func:`get_planning_cache`) is shared by
+every planner, which is what lets the fig-10 four-planner comparison and
+the benchmark sweeps skip redundant sampling.  Pass a private
+:class:`PlanningCache` to the planner/estimator for isolation, or call
+:meth:`PlanningCache.clear` between unrelated workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.relational.relation import Relation
+from repro.relational.statistics import RelationStats, compute_relation_stats
+from repro.utils import make_rng
+
+#: Relation fingerprint: (name, cardinality, row digest).
+Fingerprint = Tuple[str, int, str]
+
+#: A sample-join observation: (matches, denominator), or ``None`` when the
+#: join exceeded its work cap (the caller falls back to histograms).
+JoinObservation = Optional[Tuple[int, int]]
+
+_FINGERPRINT_ATTR = "_planning_cache_fingerprint"
+
+
+def relation_fingerprint(relation: Relation) -> Fingerprint:
+    """Content fingerprint of a relation, memoized on the instance.
+
+    The memo is keyed by the current row count, so the common mutation
+    path (``Relation.append``) naturally invalidates it.
+    """
+    count = len(relation)
+    memo = getattr(relation, _FINGERPRINT_ATTR, None)
+    if memo is not None and memo[0] == count:
+        return memo[1]
+    digest = hashlib.sha256()
+    # The schema participates: statistics are keyed by attribute name and
+    # samples/composite files carry the schema, so identical rows under
+    # renamed or re-typed columns must not share entries.
+    schema_signature = tuple(
+        (field.name, field.kind, field.width) for field in relation.schema.fields
+    )
+    digest.update(repr((relation.name, schema_signature, count)).encode())
+    for row in relation.rows:
+        digest.update(repr(row).encode())
+    fingerprint: Fingerprint = (relation.name, count, digest.hexdigest()[:16])
+    try:
+        setattr(relation, _FINGERPRINT_ATTR, (count, fingerprint))
+    except AttributeError:
+        pass  # exotic Relation subclass with __slots__; just recompute
+    return fingerprint
+
+
+class _LRUTable:
+    """A small bounded mapping with LRU eviction and hit/miss counters."""
+
+    def __init__(self, max_entries: int) -> None:
+        self.max_entries = max_entries
+        self.data: "OrderedDict[object, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: object) -> Tuple[bool, object]:
+        try:
+            value = self.data[key]
+        except KeyError:
+            self.misses += 1
+            return False, None
+        self.data.move_to_end(key)
+        self.hits += 1
+        return True, value
+
+    def store(self, key: object, value: object) -> None:
+        self.data[key] = value
+        self.data.move_to_end(key)
+        while len(self.data) > self.max_entries:
+            self.data.popitem(last=False)
+
+    def drop_where(self, predicate) -> int:
+        doomed = [key for key in self.data if predicate(key)]
+        for key in doomed:
+            del self.data[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self.data.clear()
+
+
+class PlanningCache:
+    """Shared per-relation samples, statistics, and join-sample counts."""
+
+    def __init__(self, max_entries: int = 2048) -> None:
+        self._samples = _LRUTable(max_entries)
+        self._stats = _LRUTable(max_entries)
+        self._joins = _LRUTable(max_entries)
+
+    # -- per-relation samples -------------------------------------------
+
+    def sample(self, relation: Relation, alias: str, sample_rows: int) -> Relation:
+        """The estimator's deterministic per-alias sample of ``relation``."""
+        key = (relation_fingerprint(relation), alias, sample_rows)
+        hit, value = self._samples.lookup(key)
+        if hit:
+            return value  # type: ignore[return-value]
+        sample = relation.sample(
+            sample_rows, make_rng("join-sample", relation.name, alias)
+        )
+        self._samples.store(key, sample)
+        return sample
+
+    # -- relation statistics --------------------------------------------
+
+    def relation_stats(
+        self, relation: Relation, sample_size: int = 2000, buckets: int = 20
+    ) -> RelationStats:
+        """Upload-time :class:`RelationStats`, computed once per content."""
+        key = (relation_fingerprint(relation), sample_size, buckets)
+        hit, value = self._stats.lookup(key)
+        if hit:
+            return value  # type: ignore[return-value]
+        stats = compute_relation_stats(relation, sample_size=sample_size, buckets=buckets)
+        self._stats.store(key, stats)
+        return stats
+
+    # -- join-sample observations ----------------------------------------
+
+    def join_observation(self, signature: object) -> Tuple[bool, JoinObservation]:
+        """Cached ``(matches, denominator)`` for a condition-set signature.
+
+        Returns ``(hit, observation)``; the observation itself may be
+        ``None`` (a cached work-cap overflow), which is why the hit flag
+        is separate.
+        """
+        return self._joins.lookup(signature)  # type: ignore[return-value]
+
+    def store_join_observation(
+        self, signature: object, observation: JoinObservation
+    ) -> None:
+        self._joins.store(signature, observation)
+
+    # -- invalidation -----------------------------------------------------
+
+    def invalidate(self, relation_name: str) -> int:
+        """Drop every entry touching ``relation_name``; returns drop count.
+
+        Content fingerprints already make stale entries unreachable after
+        a detected mutation; explicit invalidation is for callers that
+        mutate rows in place or simply want the memory back.
+        """
+
+        def touches_sample(key) -> bool:
+            return key[0][0] == relation_name
+
+        def touches_join(key) -> bool:
+            # Join signatures carry (alias, fingerprint) pairs up front.
+            return any(fp[0] == relation_name for _, fp in key[0])
+
+        dropped = self._samples.drop_where(touches_sample)
+        dropped += self._stats.drop_where(touches_sample)
+        dropped += self._joins.drop_where(touches_join)
+        return dropped
+
+    def clear(self) -> None:
+        for table in (self._samples, self._stats, self._joins):
+            table.clear()
+
+    # -- introspection ----------------------------------------------------
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/size counters per table, for tests and diagnostics."""
+        return {
+            name: {
+                "hits": table.hits,
+                "misses": table.misses,
+                "entries": len(table.data),
+            }
+            for name, table in (
+                ("samples", self._samples),
+                ("stats", self._stats),
+                ("joins", self._joins),
+            )
+        }
+
+
+_DEFAULT_CACHE = PlanningCache()
+
+
+def get_planning_cache() -> PlanningCache:
+    """The process-wide cache shared by all planners by default."""
+    return _DEFAULT_CACHE

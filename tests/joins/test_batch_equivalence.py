@@ -1,0 +1,105 @@
+"""Batch-vs-scalar mapper equivalence across the whole query matrix.
+
+Every join job builder ships both a per-record ``mapper`` (the executable
+specification) and a vectorized ``batch_mapper``.  These tests run every
+map phase of every planner's plan through *both* paths and require
+bit-identical buckets (including key insertion order), counters, and
+shuffle bytes — on the paper's mobile queries and the TPC-H extensions —
+plus identical final answers across all four planners.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import HivePlanner, PigPlanner, YSmartPlanner
+from repro.core.executor import PlanExecutor
+from repro.core.planner import ThetaJoinPlanner
+from repro.joins.jobs import make_keyspread_partitioner
+from repro.mapreduce.config import PAPER_CLUSTER_KP64
+from repro.mapreduce.counters import JobMetrics
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.workloads.mobile import mobile_benchmark_query
+from repro.workloads.tpch import tpch_benchmark_query
+
+METHOD_PLANNERS = (ThetaJoinPlanner, YSmartPlanner, HivePlanner, PigPlanner)
+
+
+class BothPathsCluster(SimulatedCluster):
+    """A cluster that runs every batched map phase through the scalar
+    path as well and asserts exact agreement."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.map_phases_checked = 0
+
+    def _run_map_phase(self, spec, metrics):
+        result = super()._run_map_phase(spec, metrics)
+        if spec.batch_mapper is None:
+            return result
+        scalar_metrics = JobMetrics(job_name=spec.name)
+        scalar_buckets, _ = super()._run_map_phase(
+            dataclasses.replace(spec, batch_mapper=None), scalar_metrics
+        )
+        batched_buckets, _ = result
+        assert batched_buckets == scalar_buckets, spec.name
+        for batched, scalar in zip(batched_buckets, scalar_buckets):
+            assert list(batched) == list(scalar), (
+                f"{spec.name}: key insertion order differs"
+            )
+        assert metrics.map_output_records == scalar_metrics.map_output_records
+        assert metrics.map_output_bytes == scalar_metrics.map_output_bytes
+        assert metrics.shuffle_bytes == scalar_metrics.shuffle_bytes
+        self.map_phases_checked += 1
+        return result
+
+
+def run_matrix(query):
+    answers = set()
+    checked = 0
+    for planner_cls in METHOD_PLANNERS:
+        plan = planner_cls(PAPER_CLUSTER_KP64).plan(query)
+        cluster = BothPathsCluster(PAPER_CLUSTER_KP64)
+        outcome = PlanExecutor(cluster).execute(plan, query)
+        answers.add(tuple(sorted(map(tuple, outcome.result.rows))))
+        checked += cluster.map_phases_checked
+    assert len(answers) == 1, f"{query.name}: planners disagree"
+    assert checked > 0, f"{query.name}: no batched map phase exercised"
+
+
+@pytest.mark.parametrize("query_id", [1, 2, 3, 4])
+def test_mobile_batch_equivalence(query_id):
+    run_matrix(mobile_benchmark_query(query_id, 20))
+
+
+@pytest.mark.parametrize("query_id", [3, 5, 7])
+def test_tpch_batch_equivalence(query_id):
+    run_matrix(tpch_benchmark_query(query_id, 200))
+
+
+class TestKeyspreadPartitioner:
+    def test_balanced_key_counts(self):
+        keys = [("k", (i,)) for i in range(103)]
+        partition, mapping = make_keyspread_partitioner(keys, 8)
+        per_reducer = [0] * 8
+        for key in keys:
+            index = partition(key, 8)
+            assert 0 <= index < 8
+            per_reducer[index] += 1
+        assert max(per_reducer) - min(per_reducer) <= 1
+
+    def test_deterministic(self):
+        keys = [("k", (i, i % 3)) for i in range(50)]
+        _, mapping_a = make_keyspread_partitioner(keys, 16)
+        _, mapping_b = make_keyspread_partitioner(reversed(keys), 16)
+        assert mapping_a == mapping_b
+
+    def test_fewer_keys_than_reducers(self):
+        keys = [("k", (i,)) for i in range(3)]
+        partition, mapping = make_keyspread_partitioner(keys, 64)
+        assert len({partition(k, 64) for k in keys}) == 3
+
+    def test_empty_population_falls_back(self):
+        partition, mapping = make_keyspread_partitioner([], 8)
+        assert mapping == {}
+        assert partition(("k", (1,)), 8) in range(8)
