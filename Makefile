@@ -3,8 +3,14 @@
 #   make verify   - tier-1 test suite (ROADMAP.md's gate)
 #   make smoke    - REPRO_QUICK=1 answer-agreement + batch-vs-scalar smoke:
 #                   all four planners must produce identical answers, and
-#                   the batched map path must match the scalar one bit for
-#                   bit, on a trimmed volume grid (fast enough for CI)
+#                   the batched map AND reduce paths must match the scalar
+#                   ones bit for bit, on a trimmed volume grid (fast
+#                   enough for CI)
+#   make lint     - ruff check (config in pyproject.toml); skipped with a
+#                   notice when ruff is not installed locally — CI always
+#                   installs and enforces it
+#   make ci       - the full local equivalent of the CI gate:
+#                   lint + verify + smoke
 #   make bench    - hot-path microbenches (pytest-benchmark table)
 #   make hotpath  - append this revision's hot-path numbers to
 #                   BENCH_hotpaths.json (run with --label before first on
@@ -13,7 +19,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
-.PHONY: verify smoke bench hotpath
+.PHONY: verify smoke lint ci bench hotpath
 
 verify:
 	$(PYTEST) -x -q
@@ -22,6 +28,15 @@ smoke:
 	REPRO_QUICK=1 $(PYTEST) -q \
 		benchmarks/test_perf_hotpaths.py::test_smoke_all_methods_agree \
 		tests/joins/test_batch_equivalence.py
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "ruff not installed; skipping lint (CI installs and enforces it)"; \
+	fi
+
+ci: lint verify smoke
 
 bench:
 	$(PYTEST) -q benchmarks/test_perf_hotpaths.py

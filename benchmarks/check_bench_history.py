@@ -1,0 +1,96 @@
+"""CI guard over the BENCH_hotpaths.json perf trajectory.
+
+Compares the most recent ``after`` history record against the previous
+``after`` record and exits non-zero when any tracked metric regressed by
+more than the threshold (default 25%).  Wired into the CI workflow as an
+*advisory* step (``continue-on-error``): shared-runner timings are too
+noisy to block merges on, but the annotation keeps the trajectory honest.
+
+Usage:
+
+    python benchmarks/check_bench_history.py [--threshold 0.25] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+
+
+def latest_after_records(history: list) -> list:
+    """All ``after`` records, oldest first (history is append-only)."""
+    return [r for r in history if r.get("label") == "after" and r.get("results")]
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> list:
+    """(metric, baseline_s, current_s, ratio) for every regressed metric."""
+    regressions = []
+    for metric, base_value in sorted(baseline.items()):
+        value = current.get(metric)
+        if value is None or not isinstance(base_value, (int, float)):
+            continue
+        if base_value <= 0 or value <= 0:
+            continue
+        ratio = value / base_value
+        if ratio > 1.0 + threshold:
+            regressions.append((metric, base_value, value, ratio))
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed slowdown fraction before a metric counts as regressed",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=DEFAULT_JSON, help="path to BENCH_hotpaths.json"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.json.exists():
+        print(f"{args.json}: missing; nothing to check")
+        return 0
+    data = json.loads(args.json.read_text())
+    records = latest_after_records(data.get("history", []))
+    if len(records) < 2:
+        print(
+            f"{args.json}: {len(records)} 'after' history record(s); "
+            "need two to compare — nothing to check"
+        )
+        return 0
+
+    baseline, current = records[-2], records[-1]
+    print(
+        f"comparing rev {current.get('rev', '?')} against "
+        f"rev {baseline.get('rev', '?')} "
+        f"(threshold: +{args.threshold:.0%})"
+    )
+    regressions = compare(current["results"], baseline["results"], args.threshold)
+    for metric, base_value, value, ratio in regressions:
+        print(
+            f"  REGRESSED {metric}: {base_value:.6f}s -> {value:.6f}s "
+            f"({ratio:.2f}x)"
+        )
+    if regressions:
+        print(f"{len(regressions)} metric(s) regressed more than the threshold")
+        return 1
+    checked = len(
+        [
+            m
+            for m in baseline["results"]
+            if isinstance(current["results"].get(m), (int, float))
+        ]
+    )
+    print(f"ok: {checked} tracked metric(s) within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -156,6 +156,21 @@ def bench_map_phase_batch() -> float:
     return _time(run)
 
 
+def bench_reduce_phase_batch() -> float:
+    """One batched (or, pre-PR, scalar) reduce phase of the same 3-dim
+    hypercube job: whole buckets fed key-major through the vectorized
+    probe plans instead of looping key groups."""
+    from repro.mapreduce.counters import JobMetrics
+
+    cluster, spec = _hypercube_spec()
+    buckets, _ = cluster._run_map_phase(spec, JobMetrics(job_name=spec.name))
+
+    def run():
+        cluster._run_reduce_phase(spec, buckets, JobMetrics(job_name=spec.name))
+
+    return _time(run)
+
+
 def bench_stats_cache_warm_plan() -> float:
     """Planning with warm cross-query statistics (second plan of a query)."""
     from repro.core.planner import ThetaJoinPlanner
@@ -199,6 +214,7 @@ def main() -> None:
         "partitioner_build_s": bench_partitioner_build(),
         "kr_sweep_s": bench_kr_sweep(),
         "map_phase_batch_s": bench_map_phase_batch(),
+        "reduce_phase_batch_s": bench_reduce_phase_batch(),
         "stats_cache_warm_plan_s": bench_stats_cache_warm_plan(),
         "end_to_end_fig10_q2_20gb_s": bench_end_to_end(),
     }

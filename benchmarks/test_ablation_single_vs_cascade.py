@@ -8,7 +8,6 @@ per-edge selectivity of a 3-relation chain and reports both strategies,
 exposing the crossover the paper's planner navigates.
 """
 
-from _comparison import METHODS  # noqa: F401  (documented dependency)
 from _harness import Table, once, quick_mode
 
 from repro.core.executor import PlanExecutor

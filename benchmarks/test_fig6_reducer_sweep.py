@@ -7,7 +7,6 @@ a visible inflection for smaller inputs.  We regenerate the four curves
 with the simulated cluster.
 """
 
-import pytest
 from _harness import Table, emit_chart, once, quick_mode
 
 from repro.reporting import line_chart

@@ -16,7 +16,7 @@ from repro.joins.jobs import make_hypercube_join_job
 from repro.joins.records import relation_to_composite_file
 from repro.mapreduce.config import ClusterConfig
 from repro.mapreduce.runtime import SimulatedCluster
-from repro.utils import GB, MB
+from repro.utils import GB
 from repro.workloads.synthetic import controllable_selfjoin_query
 
 SIZES_GB = [0.5, 2, 8, 32, 100]

@@ -74,6 +74,24 @@ def test_perf_map_phase_batch(benchmark):
     )
 
 
+def test_perf_reduce_phase_batch(benchmark):
+    """The batched reduce phase of the same hypercube job: whole buckets
+    fed key-major through the compiled probe plans, mirroring
+    ``reduce_phase_batch_s`` in BENCH_hotpaths.json."""
+    from run_hotpath_bench import _hypercube_spec
+
+    from repro.mapreduce.counters import JobMetrics
+
+    cluster, spec = _hypercube_spec()
+    assert spec.batch_reducer is not None
+    buckets, _ = cluster._run_map_phase(spec, JobMetrics(job_name=spec.name))
+    benchmark(
+        lambda: cluster._run_reduce_phase(
+            spec, buckets, JobMetrics(job_name=spec.name)
+        )
+    )
+
+
 def test_perf_stats_cache_warm_plan(benchmark):
     """Planning against a warm cross-query statistics cache (the steady
     state of a benchmark run), mirroring ``stats_cache_warm_plan_s``."""

@@ -17,12 +17,11 @@ The baselines differ only in:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 from repro.core.plan import (
     STRATEGY_BROADCAST,
     STRATEGY_EQUI,
-    STRATEGY_ONEBUCKET,
     ExecutionPlan,
     InputRef,
     PlannedJob,

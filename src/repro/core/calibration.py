@@ -19,7 +19,7 @@ model estimates vs noisy "real" executions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.cost_model import CostModelParameters, MRJCostModel
 from repro.core.partitioner import HypercubePartitioner

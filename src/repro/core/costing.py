@@ -17,12 +17,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.core.cost_model import JobProfile, MRJCostModel
 from repro.core.join_graph import JoinGraph
 from repro.core.join_path_graph import CandidateCost
-from repro.core.job_profiles import (
-    broadcast_profile,
-    equi_profile,
-    equichain_profile,
-    hypercube_profile,
-)
+from repro.core.job_profiles import equi_profile, equichain_profile, hypercube_profile
 from repro.core.partitioner import HypercubePartitioner, get_partitioner
 from repro.core.reducer_selection import (
     LAMBDA_DEFAULT,

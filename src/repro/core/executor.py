@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
-from repro.core.group_cost import MERGE_ID_WIDTH, merge_duration_s
+from repro.core.group_cost import merge_duration_s
 from repro.core.partitioner import (
     HypercubePartitioner,
     RandomPartitioner,
@@ -37,6 +37,7 @@ from repro.core.plan import (
 )
 from repro.errors import ExecutionError
 from repro.joins.jobs import (
+    _merge_spec,
     make_broadcast_join_job,
     make_equi_join_job,
     make_equichain_join_job,
@@ -506,13 +507,55 @@ def _hash_merge(
     right: List[Composite],
     shared_aliases: FrozenSet[str],
 ) -> List[Composite]:
-    """Id-based hash join of two partial results on their shared relations."""
+    """Id-based hash join of two partial results on their shared relations.
+
+    Partial results have uniform alias covers (every composite of one
+    terminal output covers the same alias set), which admits the same
+    position-compiled technique as the batched reducers: shared-id keys
+    and the merged entry picks become tuple indexing resolved once per
+    merge instead of per-composite dict builds.  Inputs with ragged
+    covers (or a ``shared_aliases`` narrower than the true intersection)
+    take the generic ``merge_composites`` path.
+    """
+    if not left or not right:
+        return []
     shared = sorted(shared_aliases)
-    index: Dict[Tuple[int, ...], List[Composite]] = {}
+    left_cover = tuple(entry[0] for entry in left[0])
+    right_cover = tuple(entry[0] for entry in right[0])
+    if (
+        set(left_cover) & set(right_cover) == shared_aliases
+        and all(tuple(e[0] for e in c) == left_cover for c in left)
+        and all(tuple(e[0] for e in c) == right_cover for c in right)
+    ):
+        left_pos = {alias: i for i, alias in enumerate(left_cover)}
+        right_pos = {alias: i for i, alias in enumerate(right_cover)}
+        left_key = tuple(left_pos[alias] for alias in shared)
+        right_key = tuple(right_pos[alias] for alias in shared)
+        # Shared aliases keep the left entry, like merge_composites;
+        # partners agree on their shared ids by key construction.
+        spec = _merge_spec(left_cover, right_cover)
+        index: Dict[Tuple[int, ...], List[Composite]] = {}
+        for composite in right:
+            key = tuple(composite[p][1] for p in right_key)
+            index.setdefault(key, []).append(composite)
+        merged: List[Composite] = []
+        for composite in left:
+            partners = index.get(tuple(composite[p][1] for p in left_key))
+            if not partners:
+                continue
+            for partner in partners:
+                merged.append(
+                    tuple(
+                        composite[p] if s == 0 else partner[p] for s, p in spec
+                    )
+                )
+        return merged
+
+    index = {}
     for composite in right:
         key = tuple(global_id_of(composite, alias) for alias in shared)
         index.setdefault(key, []).append(composite)
-    merged: List[Composite] = []
+    merged = []
     for composite in left:
         key = tuple(global_id_of(composite, alias) for alias in shared)
         for partner in index.get(key, ()):

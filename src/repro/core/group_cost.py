@@ -15,7 +15,7 @@ they overlap with still-running jobs exactly as in Figure 4's example.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import PlanningError
 

@@ -8,7 +8,7 @@ that mirrors what the reducers in :mod:`repro.joins.jobs` actually do.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.core.cost_model import JobProfile
 from repro.core.partitioner import PartitionSummary

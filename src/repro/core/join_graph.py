@@ -14,7 +14,6 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
 
 from repro.errors import QueryError
-from repro.relational.predicates import JoinCondition
 from repro.relational.query import JoinQuery
 
 

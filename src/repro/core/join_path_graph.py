@@ -21,7 +21,7 @@ module stays independent of the cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.join_graph import JoinGraph
 from repro.errors import PlanningError

@@ -19,21 +19,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.core.cost_model import MRJCostModel
 from repro.core.costing import CandidateJobCosting, JobBlueprint
 from repro.core.group_cost import group_cost_s
-from repro.core.job_profiles import equi_profile, hypercube_profile
 from repro.core.join_graph import JoinGraph
 from repro.core.join_path_graph import JoinPathGraph, build_join_path_graph
-from repro.core.plan import (
-    STRATEGY_EQUI,
-    STRATEGY_ONEBUCKET,
-    ExecutionPlan,
-    InputRef,
-    PlannedJob,
-)
+from repro.core.plan import ExecutionPlan, InputRef, PlannedJob
 from repro.core.plan_selector import candidate_covers
 from repro.core.reducer_selection import LAMBDA_DEFAULT
 from repro.core.scheduler import MalleableJob, MalleableScheduler

@@ -37,7 +37,7 @@ from repro.joins.records import (
     rows_by_alias,
 )
 from repro.mapreduce.hdfs import DistributedFile
-from repro.mapreduce.job import MapBatch, MapReduceJobSpec, TaskContext
+from repro.mapreduce.job import MapBatch, MapReduceJobSpec, ReduceBatch, TaskContext
 from repro.relational.predicates import JoinCondition
 from repro.relational.schema import Schema
 from repro.utils import stable_hash
@@ -235,6 +235,134 @@ def _compile_checks(
         return True
 
     return check
+
+
+# ---------------------------------------------------------------------------
+# Batched reduce-side machinery: position-compiled covers
+#
+# Every composite flowing through one join job covers a *statically known*
+# alias set (each input's cover is fixed, and the progressive join binds
+# dimensions in a fixed order), so the partial composite entering step s
+# always is an alias-sorted tuple over a known cover.  That turns every
+# per-composite dict build of the scalar reducer (``rows_by_alias``,
+# ``merge_composites``, ``_key_values``) into tuple indexing compiled once
+# at job-build time.  Batch reducers are only installed when the input
+# covers are pairwise disjoint — the invariant that makes the compiled
+# merge exact; otherwise the job simply runs its scalar reducer.
+# ---------------------------------------------------------------------------
+
+#: Candidate-count threshold above which sorted probes go through NumPy.
+_NP_MIN_PROBE = 128
+#: Pair-count threshold above which condition checks go through NumPy.
+_NP_MIN_PAIRS = 256
+
+
+def _merge_spec(bound_cover: Sequence[str], new_cover: Sequence[str]):
+    """Precomputed entry picks realising ``merge_composites`` for two
+    alias-sorted composites over statically known covers: ``(source,
+    position)`` per merged entry, source 0 = accumulated, 1 = candidate.
+    Aliases present in both covers keep the accumulated side's entry,
+    exactly like ``merge_composites`` (callers that cannot guarantee
+    shared aliases agree on global ids must not use the spec)."""
+    bound_pos = {alias: i for i, alias in enumerate(bound_cover)}
+    new_pos = {alias: i for i, alias in enumerate(new_cover)}
+    return tuple(
+        (0, bound_pos[alias]) if alias in bound_pos else (1, new_pos[alias])
+        for alias in sorted(set(bound_cover) | set(new_cover))
+    )
+
+
+def _compile_pair_checks(
+    conditions: Sequence[JoinCondition],
+    schemas: Mapping[str, Schema],
+    bound_cover: Sequence[str],
+    new_cover: Sequence[str],
+):
+    """Compile a conjunction into (accumulated, candidate) pair form.
+
+    Each predicate endpoint resolves to ``(source, entry position, column
+    index, offset)`` — source 0 reads the accumulated composite (covering
+    ``bound_cover``), 1 the candidate (covering ``new_cover``) — so the
+    check runs *before* the merged composite is built, on tuple indexing
+    alone.  Predicate order and operators match :func:`_compile_checks`
+    exactly.  Returns ``None`` for an empty conjunction.
+    """
+    bound_pos = {alias: i for i, alias in enumerate(bound_cover)}
+    new_pos = {alias: i for i, alias in enumerate(new_cover)}
+
+    def resolve(ref):
+        if ref.alias in bound_pos:
+            return 0, bound_pos[ref.alias]
+        return 1, new_pos[ref.alias]
+
+    compiled = []
+    for condition in conditions:
+        for p in condition.predicates:
+            ls, lp = resolve(p.left)
+            rs, rp = resolve(p.right)
+            compiled.append(
+                (
+                    ls,
+                    lp,
+                    schemas[p.left.alias].index_of(p.left.attr),
+                    p.left.offset,
+                    p.op.as_function,
+                    rs,
+                    rp,
+                    schemas[p.right.alias].index_of(p.right.attr),
+                    p.right.offset,
+                )
+            )
+    return compiled or None
+
+
+def _pair_passes(checks, acc: Composite, cand: Composite) -> bool:
+    """Evaluate compiled pair checks with scalar short-circuiting."""
+    for ls, lp, li, lo, compare, rs, rp, ri, ro in checks:
+        left_value = (acc if ls == 0 else cand)[lp][2][li]
+        if lo:
+            left_value = left_value + lo
+        right_value = (acc if rs == 0 else cand)[rp][2][ri]
+        if ro:
+            right_value = right_value + ro
+        if not compare(left_value, right_value):
+            return False
+    return True
+
+
+def _np_pair_mask(checks, accs: Sequence[Composite], cands: Sequence[Composite]):
+    """Accumulated-major boolean mask of passing pairs, or ``None``.
+
+    Vectorizes the compiled pair conjunction over the full cross product
+    with NumPy; bails out (``None``) whenever a column is not cleanly
+    vectorizable (object dtype, or an offset on a non-numeric column), in
+    which case callers run the scalar pair loop.  Conjunction of pure
+    predicates, so evaluation order cannot change the mask.
+    """
+    if _np is None:
+        return None
+    num_cands = len(cands)
+    mask = None
+    for ls, lp, li, lo, compare, rs, rp, ri, ro in checks:
+        left = _np.asarray([c[lp][2][li] for c in (accs if ls == 0 else cands)])
+        if left.dtype == object or (lo and not _np.issubdtype(left.dtype, _np.number)):
+            return None
+        right = _np.asarray([c[rp][2][ri] for c in (accs if rs == 0 else cands)])
+        if right.dtype == object or (
+            ro and not _np.issubdtype(right.dtype, _np.number)
+        ):
+            return None
+        if lo:
+            left = left + lo
+        if ro:
+            right = right + ro
+        left = _np.repeat(left, num_cands) if ls == 0 else _np.tile(left, len(accs))
+        right = (
+            _np.repeat(right, num_cands) if rs == 0 else _np.tile(right, len(accs))
+        )
+        term = compare(left, right)
+        mask = term if mask is None else (mask & term)
+    return mask
 
 
 #: Hash space for ranking keys; any fixed size far above key counts works.
@@ -562,6 +690,335 @@ def make_hypercube_join_job(
     def value_width(value: object) -> int:
         return dim_value_width[value[0]]  # type: ignore[index]
 
+    # ---- batched reduce side: the same progressive join, with the probe
+    # plans compiled onto positional covers (requires pairwise-disjoint
+    # dimension covers; otherwise the scalar reducer runs alone).
+    batch_reducer = None
+    dim_covers = [tuple(sorted(group)) for group in dim_aliases]
+    flat_cover = [alias for cover in dim_covers for alias in cover]
+    if len(set(flat_cover)) == len(flat_cover):
+        cover_before: List[Tuple[str, ...]] = []
+        acc_cover: List[str] = []
+        for cover in dim_covers:
+            cover_before.append(tuple(acc_cover))
+            acc_cover = sorted(acc_cover + list(cover))
+        merge_specs = [
+            None if step == 0 else _merge_spec(cover_before[step], dim_covers[step])
+            for step in range(num_dims)
+        ]
+        pair_checks = [
+            _compile_pair_checks(
+                ready_at_step[step],
+                schemas_by_alias,
+                cover_before[step],
+                dim_covers[step],
+            )
+            for step in range(num_dims)
+        ]
+        compiled_plans: List[Optional[tuple]] = []
+        for step in range(num_dims):
+            plan = step_plans[step]
+            if plan is None:
+                compiled_plans.append(None)
+                continue
+            bound_pos = {a: i for i, a in enumerate(cover_before[step])}
+            new_pos = {a: i for i, a in enumerate(dim_covers[step])}
+            if plan[0] == "hash":
+                _kind, bound_specs, new_specs = plan
+                compiled_plans.append(
+                    (
+                        "hash",
+                        tuple((bound_pos[a], idx) for a, idx in bound_specs),
+                        tuple((new_pos[a], idx) for a, idx in new_specs),
+                    )
+                )
+            else:
+                _kind, (probe_alias, probe_idx), bounds = plan
+                compiled_plans.append(
+                    (
+                        "range",
+                        (new_pos[probe_alias], probe_idx),
+                        tuple(
+                            (bound_pos[a], idx, shift, kind)
+                            for a, idx, shift, kind in bounds
+                        ),
+                    )
+                )
+
+        def hypercube_batch_reducer(keys, values, offsets) -> ReduceBatch:
+            outputs: List[object] = []
+            comparisons = 0
+            dim_counts = [0] * num_dims
+            for g in range(len(keys)):
+                component = keys[g]
+                per_dim_gids: List[List[int]] = [[] for _ in range(num_dims)]
+                per_dim_comps: List[List[Composite]] = [[] for _ in range(num_dims)]
+                for i in range(offsets[g], offsets[g + 1]):
+                    dim, gid, composite = values[i]
+                    per_dim_gids[dim].append(gid)
+                    per_dim_comps[dim].append(composite)
+                for d in range(num_dims):
+                    dim_counts[d] += len(per_dim_gids[d])
+                ids_list: List[Tuple[int, ...]] = []
+                comps_list: List[Composite] = []
+                alive = True
+                for step in range(num_dims):
+                    cand_gids = per_dim_gids[step]
+                    cand_comps = per_dim_comps[step]
+                    if not cand_gids:
+                        alive = False
+                        break
+                    checks = pair_checks[step]
+                    if step == 0:
+                        comparisons += len(cand_gids)
+                        if checks is None:
+                            ids_list = [(gid,) for gid in cand_gids]
+                            comps_list = list(cand_comps)
+                        else:
+                            ids_list = []
+                            comps_list = []
+                            for gid, comp in zip(cand_gids, cand_comps):
+                                if _pair_passes(checks, (), comp):
+                                    ids_list.append((gid,))
+                                    comps_list.append(comp)
+                        if not ids_list:
+                            alive = False
+                            break
+                        continue
+                    plan = compiled_plans[step]
+                    mspec = merge_specs[step]
+                    grown_ids: List[Tuple[int, ...]] = []
+                    grown_comps: List[Composite] = []
+                    if plan is not None and plan[0] == "hash":
+                        _kind, bound_specs, new_specs = plan
+                        index: Dict[object, List[int]] = {}
+                        if len(new_specs) == 1:
+                            (new_p, new_c), = new_specs
+                            (bound_p, bound_c), = bound_specs
+                            # NumPy hash probe for big single-column keys:
+                            # equality is the [left, right) searchsorted
+                            # window over stably key-sorted candidates —
+                            # equal-key candidates keep their input order,
+                            # so emission matches the dict probe exactly.
+                            use_np = False
+                            if _np is not None and len(cand_comps) >= _NP_MIN_PROBE:
+                                arr = _np.asarray(
+                                    [comp[new_p][2][new_c] for comp in cand_comps]
+                                )
+                                use_np = _np.issubdtype(arr.dtype, _np.number)
+                            if use_np:
+                                bvals = _np.asarray(
+                                    [acc[bound_p][2][bound_c] for acc in comps_list]
+                                )
+                                use_np = _np.issubdtype(bvals.dtype, _np.number)
+                            if use_np:
+                                np_order = _np.argsort(arr, kind="stable")
+                                sorted_keys = arr[np_order]
+                                lo_list = _np.searchsorted(
+                                    sorted_keys, bvals, side="left"
+                                ).tolist()
+                                hi_list = _np.searchsorted(
+                                    sorted_keys, bvals, side="right"
+                                ).tolist()
+                                order = np_order.tolist()
+                                for j, acc in enumerate(comps_list):
+                                    lo, hi = lo_list[j], hi_list[j]
+                                    if lo >= hi:
+                                        continue
+                                    comparisons += hi - lo
+                                    ids = ids_list[j]
+                                    for t in range(lo, hi):
+                                        i = order[t]
+                                        cand = cand_comps[i]
+                                        if checks is None or _pair_passes(
+                                            checks, acc, cand
+                                        ):
+                                            grown_ids.append(ids + (cand_gids[i],))
+                                            grown_comps.append(
+                                                tuple(
+                                                    acc[p] if s == 0 else cand[p]
+                                                    for s, p in mspec
+                                                )
+                                            )
+                            else:
+                                for i, comp in enumerate(cand_comps):
+                                    index.setdefault(
+                                        comp[new_p][2][new_c], []
+                                    ).append(i)
+                                for j, acc in enumerate(comps_list):
+                                    matches = index.get(acc[bound_p][2][bound_c])
+                                    if not matches:
+                                        continue
+                                    comparisons += len(matches)
+                                    ids = ids_list[j]
+                                    for i in matches:
+                                        cand = cand_comps[i]
+                                        if checks is None or _pair_passes(
+                                            checks, acc, cand
+                                        ):
+                                            grown_ids.append(ids + (cand_gids[i],))
+                                            grown_comps.append(
+                                                tuple(
+                                                    acc[p] if s == 0 else cand[p]
+                                                    for s, p in mspec
+                                                )
+                                            )
+                        else:
+                            for i, comp in enumerate(cand_comps):
+                                index.setdefault(
+                                    tuple(comp[p][2][c] for p, c in new_specs), []
+                                ).append(i)
+                            for j, acc in enumerate(comps_list):
+                                matches = index.get(
+                                    tuple(acc[p][2][c] for p, c in bound_specs)
+                                )
+                                if not matches:
+                                    continue
+                                comparisons += len(matches)
+                                ids = ids_list[j]
+                                for i in matches:
+                                    cand = cand_comps[i]
+                                    if checks is None or _pair_passes(
+                                        checks, acc, cand
+                                    ):
+                                        grown_ids.append(ids + (cand_gids[i],))
+                                        grown_comps.append(
+                                            tuple(
+                                                acc[p] if s == 0 else cand[p]
+                                                for s, p in mspec
+                                            )
+                                        )
+                    elif plan is not None:
+                        _kind, (probe_pos, probe_idx), bounds = plan
+                        vals = [comp[probe_pos][2][probe_idx] for comp in cand_comps]
+                        count = len(vals)
+                        lo_list: List[int]
+                        hi_list: List[int]
+                        use_np = False
+                        if _np is not None and count >= _NP_MIN_PROBE:
+                            arr = _np.asarray(vals)
+                            use_np = _np.issubdtype(arr.dtype, _np.number)
+                        if use_np:
+                            bound_cols = []
+                            for bound_p, bound_c, shift, kind in bounds:
+                                bvals = _np.asarray(
+                                    [acc[bound_p][2][bound_c] for acc in comps_list]
+                                )
+                                if not _np.issubdtype(bvals.dtype, _np.number):
+                                    use_np = False
+                                    break
+                                bound_cols.append((bvals + shift, kind))
+                        if use_np:
+                            np_order = _np.argsort(arr, kind="stable")
+                            sorted_vals = arr[np_order]
+                            lo_arr = _np.zeros(len(comps_list), dtype=_np.int64)
+                            hi_arr = _np.full(len(comps_list), count, dtype=_np.int64)
+                            for bvals, kind in bound_cols:
+                                if kind == "lower":
+                                    edge = _np.searchsorted(sorted_vals, bvals, side="right")
+                                    _np.maximum(lo_arr, edge, out=lo_arr)
+                                elif kind == "lower_eq":
+                                    edge = _np.searchsorted(sorted_vals, bvals, side="left")
+                                    _np.maximum(lo_arr, edge, out=lo_arr)
+                                elif kind == "upper":
+                                    edge = _np.searchsorted(sorted_vals, bvals, side="left")
+                                    _np.minimum(hi_arr, edge, out=hi_arr)
+                                else:  # upper_eq
+                                    edge = _np.searchsorted(sorted_vals, bvals, side="right")
+                                    _np.minimum(hi_arr, edge, out=hi_arr)
+                            order = np_order.tolist()
+                            lo_list = lo_arr.tolist()
+                            hi_list = hi_arr.tolist()
+                        else:
+                            order = sorted(range(count), key=vals.__getitem__)
+                            sorted_py = [vals[i] for i in order]
+                            lo_list = []
+                            hi_list = []
+                            for acc in comps_list:
+                                lo, hi = 0, count
+                                for bound_p, bound_c, shift, kind in bounds:
+                                    bound_value = acc[bound_p][2][bound_c] + shift
+                                    if kind == "lower":
+                                        lo = max(lo, bisect.bisect_right(sorted_py, bound_value))
+                                    elif kind == "lower_eq":
+                                        lo = max(lo, bisect.bisect_left(sorted_py, bound_value))
+                                    elif kind == "upper":
+                                        hi = min(hi, bisect.bisect_left(sorted_py, bound_value))
+                                    else:  # upper_eq
+                                        hi = min(hi, bisect.bisect_right(sorted_py, bound_value))
+                                lo_list.append(lo)
+                                hi_list.append(hi)
+                        for j, acc in enumerate(comps_list):
+                            lo, hi = lo_list[j], hi_list[j]
+                            if lo >= hi:
+                                continue
+                            comparisons += hi - lo
+                            ids = ids_list[j]
+                            for t in range(lo, hi):
+                                i = order[t]
+                                cand = cand_comps[i]
+                                if checks is None or _pair_passes(checks, acc, cand):
+                                    grown_ids.append(ids + (cand_gids[i],))
+                                    grown_comps.append(
+                                        tuple(
+                                            acc[p] if s == 0 else cand[p]
+                                            for s, p in mspec
+                                        )
+                                    )
+                    else:
+                        num_cands = len(cand_gids)
+                        comparisons += len(ids_list) * num_cands
+                        mask = None
+                        if (
+                            checks is not None
+                            and _np is not None
+                            and len(ids_list) * num_cands >= _NP_MIN_PAIRS
+                        ):
+                            mask = _np_pair_mask(checks, comps_list, cand_comps)
+                        if mask is not None:
+                            for k in _np.flatnonzero(mask).tolist():
+                                j, i = divmod(k, num_cands)
+                                acc = comps_list[j]
+                                cand = cand_comps[i]
+                                grown_ids.append(ids_list[j] + (cand_gids[i],))
+                                grown_comps.append(
+                                    tuple(
+                                        acc[p] if s == 0 else cand[p]
+                                        for s, p in mspec
+                                    )
+                                )
+                        else:
+                            for j, acc in enumerate(comps_list):
+                                ids = ids_list[j]
+                                for i in range(num_cands):
+                                    cand = cand_comps[i]
+                                    if checks is None or _pair_passes(
+                                        checks, acc, cand
+                                    ):
+                                        grown_ids.append(ids + (cand_gids[i],))
+                                        grown_comps.append(
+                                            tuple(
+                                                acc[p] if s == 0 else cand[p]
+                                                for s, p in mspec
+                                            )
+                                        )
+                    ids_list = grown_ids
+                    comps_list = grown_comps
+                    if not ids_list:
+                        alive = False
+                        break
+                if not alive or not ids_list:
+                    continue
+                for j, ids in enumerate(ids_list):
+                    if owner_of_ids(ids) == component:
+                        outputs.append(comps_list[j])
+            input_bytes = 12 * sum(dim_counts) + sum(
+                dim_value_width[d] * dim_counts[d] for d in range(num_dims)
+            )
+            return ReduceBatch(outputs, comparisons, input_bytes)
+
+        batch_reducer = hypercube_batch_reducer
+
     return MapReduceJobSpec(
         name=name,
         inputs=list(dim_files),
@@ -571,6 +1028,7 @@ def make_hypercube_join_job(
         output_record_width=output_width,
         pair_width_fn=value_width,
         batch_mapper=batch_mapper,
+        batch_reducer=batch_reducer,
         output_name=output_name or f"{name}.out",
     )
 
@@ -702,6 +1160,67 @@ def make_equi_join_job(
                 existing.append(value)
         return MapBatch(buckets, len(records), len(records) * pair_width)
 
+    # ---- batched reduce side: whole buckets at once, the per-pair check
+    # compiled onto positional covers (NumPy mask over big pair blocks).
+    batch_reducer = None
+    if not (left_aliases & right_aliases):
+        left_cover = tuple(sorted(left_aliases))
+        right_cover = tuple(sorted(right_aliases))
+        mspec = _merge_spec(left_cover, right_cover)
+        pair_checks = _compile_pair_checks(
+            list(conditions), schemas_by_alias, left_cover, right_cover
+        )
+
+        def equi_batch_reducer(keys, values, offsets) -> ReduceBatch:
+            outputs: List[object] = []
+            comparisons = 0
+            left_count = 0
+            for g in range(len(keys)):
+                lefts: List[Composite] = []
+                rights: List[Composite] = []
+                for i in range(offsets[g], offsets[g + 1]):
+                    from_left, composite = values[i]
+                    (lefts if from_left else rights).append(composite)
+                num_left, num_right = len(lefts), len(rights)
+                left_count += num_left
+                comparisons += num_left * num_right
+                if not num_left or not num_right:
+                    continue
+                mask = None
+                if (
+                    pair_checks is not None
+                    and _np is not None
+                    and num_left * num_right >= _NP_MIN_PAIRS
+                ):
+                    mask = _np_pair_mask(pair_checks, lefts, rights)
+                if mask is not None:
+                    for k in _np.flatnonzero(mask).tolist():
+                        j, i = divmod(k, num_right)
+                        left, right = lefts[j], rights[i]
+                        outputs.append(
+                            tuple(
+                                left[p] if s == 0 else right[p] for s, p in mspec
+                            )
+                        )
+                else:
+                    for left in lefts:
+                        for right in rights:
+                            if pair_checks is None or _pair_passes(
+                                pair_checks, left, right
+                            ):
+                                outputs.append(
+                                    tuple(
+                                        left[p] if s == 0 else right[p]
+                                        for s, p in mspec
+                                    )
+                                )
+            input_bytes = (12 + left_value_width) * left_count + (
+                12 + right_value_width
+            ) * (offsets[-1] - left_count)
+            return ReduceBatch(outputs, comparisons, input_bytes)
+
+        batch_reducer = equi_batch_reducer
+
     return MapReduceJobSpec(
         name=name,
         inputs=[left_file, right_file],
@@ -712,6 +1231,7 @@ def make_equi_join_job(
         output_record_width=output_width,
         pair_width_fn=value_width,
         batch_mapper=batch_mapper,
+        batch_reducer=batch_reducer,
         output_name=output_name or f"{name}.out",
     )
 
@@ -809,6 +1329,65 @@ def make_broadcast_join_job(
             pair_bytes = pair_count * (12 + small_value_width)
         return MapBatch(buckets, pair_count, pair_bytes)
 
+    # ---- batched reduce side: the filtered nested loop over whole
+    # buckets, pair checks compiled onto positional covers.
+    batch_reducer = None
+    if not (big_alias_set & small_alias_set):
+        big_cover = tuple(sorted(big_alias_set))
+        small_cover = tuple(sorted(small_alias_set))
+        mspec = _merge_spec(big_cover, small_cover)
+        pair_checks = _compile_pair_checks(
+            list(conditions), schemas_by_alias, big_cover, small_cover
+        )
+
+        def broadcast_batch_reducer(keys, values, offsets) -> ReduceBatch:
+            outputs: List[object] = []
+            comparisons = 0
+            big_count = 0
+            for g in range(len(keys)):
+                bigs: List[Composite] = []
+                smalls: List[Composite] = []
+                for i in range(offsets[g], offsets[g + 1]):
+                    side, composite = values[i]
+                    (bigs if side == "big" else smalls).append(composite)
+                num_big, num_small = len(bigs), len(smalls)
+                big_count += num_big
+                comparisons += num_big * num_small
+                if not num_big or not num_small:
+                    continue
+                mask = None
+                if (
+                    pair_checks is not None
+                    and _np is not None
+                    and num_big * num_small >= _NP_MIN_PAIRS
+                ):
+                    mask = _np_pair_mask(pair_checks, bigs, smalls)
+                if mask is not None:
+                    for k in _np.flatnonzero(mask).tolist():
+                        j, i = divmod(k, num_small)
+                        big, small = bigs[j], smalls[i]
+                        outputs.append(
+                            tuple(big[p] if s == 0 else small[p] for s, p in mspec)
+                        )
+                else:
+                    for big in bigs:
+                        for small in smalls:
+                            if pair_checks is None or _pair_passes(
+                                pair_checks, big, small
+                            ):
+                                outputs.append(
+                                    tuple(
+                                        big[p] if s == 0 else small[p]
+                                        for s, p in mspec
+                                    )
+                                )
+            input_bytes = (12 + big_value_width) * big_count + (
+                12 + small_value_width
+            ) * (offsets[-1] - big_count)
+            return ReduceBatch(outputs, comparisons, input_bytes)
+
+        batch_reducer = broadcast_batch_reducer
+
     return MapReduceJobSpec(
         name=name,
         inputs=[big_file, small_file],
@@ -818,6 +1397,7 @@ def make_broadcast_join_job(
         output_record_width=output_width,
         pair_width_fn=value_width,
         batch_mapper=batch_mapper,
+        batch_reducer=batch_reducer,
         output_name=output_name or f"{name}.out",
     )
 
@@ -1018,6 +1598,107 @@ def make_equichain_join_job(
                 existing.append(value)
         return MapBatch(buckets, len(records), len(records) * pair_width)
 
+    # ---- batched reduce side: progressive co-group join over whole
+    # buckets, step checks compiled onto positional covers.
+    batch_reducer = None
+    num_inputs = len(input_files)
+    step_covers = [tuple(sorted(group)) for group in alias_groups]
+    flat_cover = [alias for cover in step_covers for alias in cover]
+    if len(set(flat_cover)) == len(flat_cover):
+        cover_before: List[Tuple[str, ...]] = []
+        acc_cover: List[str] = []
+        for cover in step_covers:
+            cover_before.append(tuple(acc_cover))
+            acc_cover = sorted(acc_cover + list(cover))
+        merge_specs = [
+            None if step == 0 else _merge_spec(cover_before[step], step_covers[step])
+            for step in range(num_inputs)
+        ]
+        step_pair_checks = [
+            _compile_pair_checks(
+                ready_at_step[step],
+                schemas_by_alias,
+                cover_before[step],
+                step_covers[step],
+            )
+            for step in range(num_inputs)
+        ]
+
+        def equichain_batch_reducer(keys, values, offsets) -> ReduceBatch:
+            outputs: List[object] = []
+            comparisons = 0
+            input_counts = [0] * num_inputs
+            for g in range(len(keys)):
+                per_input: List[List[Composite]] = [[] for _ in range(num_inputs)]
+                for i in range(offsets[g], offsets[g + 1]):
+                    index, composite = values[i]
+                    per_input[index].append(composite)
+                for d in range(num_inputs):
+                    input_counts[d] += len(per_input[d])
+                partial: List[Composite] = [()]
+                alive = True
+                for step in range(num_inputs):
+                    candidates = per_input[step]
+                    if not candidates:
+                        alive = False
+                        break
+                    checks = step_pair_checks[step]
+                    num_cands = len(candidates)
+                    comparisons += len(partial) * num_cands
+                    if step == 0:
+                        if checks is None:
+                            partial = list(candidates)
+                        else:
+                            partial = [
+                                c for c in candidates if _pair_passes(checks, (), c)
+                            ]
+                    else:
+                        mspec = merge_specs[step]
+                        mask = None
+                        if (
+                            checks is not None
+                            and _np is not None
+                            and len(partial) * num_cands >= _NP_MIN_PAIRS
+                        ):
+                            mask = _np_pair_mask(checks, partial, candidates)
+                        grown: List[Composite] = []
+                        if mask is not None:
+                            for k in _np.flatnonzero(mask).tolist():
+                                j, i = divmod(k, num_cands)
+                                acc = partial[j]
+                                cand = candidates[i]
+                                grown.append(
+                                    tuple(
+                                        acc[p] if s == 0 else cand[p]
+                                        for s, p in mspec
+                                    )
+                                )
+                        else:
+                            for acc in partial:
+                                for cand in candidates:
+                                    if checks is None or _pair_passes(
+                                        checks, acc, cand
+                                    ):
+                                        grown.append(
+                                            tuple(
+                                                acc[p] if s == 0 else cand[p]
+                                                for s, p in mspec
+                                            )
+                                        )
+                        partial = grown
+                    if not partial:
+                        alive = False
+                        break
+                if alive:
+                    outputs.extend(partial)
+            input_bytes = sum(
+                (12 + input_value_width[d]) * input_counts[d]
+                for d in range(num_inputs)
+            )
+            return ReduceBatch(outputs, comparisons, input_bytes)
+
+        batch_reducer = equichain_batch_reducer
+
     return MapReduceJobSpec(
         name=name,
         inputs=list(input_files),
@@ -1028,5 +1709,6 @@ def make_equichain_join_job(
         output_record_width=output_width,
         pair_width_fn=value_width,
         batch_mapper=batch_mapper,
+        batch_reducer=batch_reducer,
         output_name=output_name or f"{name}.out",
     )

@@ -9,10 +9,9 @@ meant to be obviously correct.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from repro.joins.records import Composite, merge_composites, singleton
-from repro.relational.predicates import JoinCondition
 from repro.relational.query import JoinQuery
 
 

@@ -9,7 +9,7 @@ sizes (whose max dominates ``JR``), and the phase times ``JM``, ``JCP``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 @dataclass

@@ -10,7 +10,7 @@ method" (plain upload plus an upload-time sampling/statistics pass).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 from repro.errors import ExecutionError
 from repro.mapreduce.config import ClusterConfig

@@ -9,7 +9,7 @@ the single user-supplied scheduling parameter RN(MRJ) the paper optimises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
@@ -72,6 +72,36 @@ class MapBatch:
 #: Must emit exactly what the scalar mapper would for the same records,
 #: in the same order — the runtime's equivalence tests hold it to that.
 BatchMapper = Callable[[str, Sequence[object], int], MapBatch]
+
+
+@dataclass
+class ReduceBatch:
+    """Batched reduce output for one whole reduce task (bucket).
+
+    ``outputs`` holds the task's output records in the exact order the
+    scalar reducer would emit them (key groups in bucket insertion order,
+    records in emission order within a group); ``comparisons`` is the
+    total the scalar reducer would charge via
+    :meth:`TaskContext.charge_comparisons` over the same bucket.  When a
+    batch reducer knows its value widths statically it may also fill
+    ``input_bytes`` (the scalar path's per-value width sum, computed
+    arithmetically); leaving it ``None`` makes the runtime derive it the
+    scalar way.
+    """
+
+    outputs: List[object]
+    comparisons: int
+    input_bytes: Optional[int] = None
+
+
+#: batch_reducer(keys, values, group_offsets) -> ReduceBatch.  One call
+#: covers one whole reduce task: ``keys[i]`` is the i-th shuffle key in
+#: bucket insertion order and its value group is the flat slice
+#: ``values[group_offsets[i]:group_offsets[i + 1]]`` (key-major layout —
+#: ``len(group_offsets) == len(keys) + 1``).  Must produce exactly what
+#: the scalar reducer would for the same bucket; the batch-vs-scalar
+#: equivalence suite holds it to that.
+BatchReducer = Callable[[Sequence[object], Sequence[object], Sequence[int]], ReduceBatch]
 
 
 def default_partitioner(key: object, num_reducers: int) -> int:
@@ -137,6 +167,12 @@ class MapReduceJobSpec:
     #: exactly (same buckets, same counters) — ``mapper`` remains the
     #: executable specification.
     batch_mapper: Optional[BatchMapper] = None
+    #: Optional vectorized reducer: consumes a whole reduce task's bucket
+    #: at once, key-major (flat value array + group offsets), returning
+    #: outputs and counters (:class:`ReduceBatch`).  When present the
+    #: runtime prefers it over the per-key-group ``reducer``; both must
+    #: agree exactly — ``reducer`` remains the executable specification.
+    batch_reducer: Optional[BatchReducer] = None
     output_name: str = ""
 
     def __post_init__(self) -> None:

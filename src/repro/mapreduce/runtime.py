@@ -28,13 +28,7 @@ from repro.errors import ExecutionError
 from repro.mapreduce.config import ClusterConfig
 from repro.mapreduce.counters import JobMetrics
 from repro.mapreduce.hdfs import DistributedFile, SimulatedHDFS
-from repro.mapreduce.job import (
-    JobResult,
-    MapBatch,
-    MapReduceJobSpec,
-    TaskContext,
-    estimate_width,
-)
+from repro.mapreduce.job import JobResult, MapReduceJobSpec, TaskContext, estimate_width
 from repro.utils import ceil_div, make_rng
 
 #: Environment switch for shard-parallel batched mapping: the number of
@@ -245,9 +239,11 @@ class SimulatedCluster:
         metrics: JobMetrics,
     ) -> Tuple[List[object], List[float]]:
         """Run reducers; returns output records and per-reducer cost seconds."""
+        if spec.batch_reducer is not None:
+            return self._run_reduce_phase_batched(spec, buckets, metrics)
+
         output_records: List[object] = []
         reducer_costs: List[float] = []
-        config = self.config
         reducer = spec.reducer
         fixed_width = spec.pair_width
         width_fn = spec.pair_width_fn
@@ -272,23 +268,90 @@ class SimulatedCluster:
                     produced += 1
             metrics.reducer_input_bytes.append(input_bytes)
             metrics.reduce_comparisons += ctx.comparisons
-            # Merge-sort I/O on the reducer's input, user CPU, output write.
-            merge_passes = self._merge_passes(input_bytes)
-            io_time = input_bytes * merge_passes * (
-                1.0 / config.disk_read_bytes_s + 1.0 / config.disk_write_bytes_s
+            reducer_costs.append(
+                self._reduce_task_cost(
+                    spec, input_bytes, input_values, ctx.comparisons, produced
+                )
             )
-            cpu_time = (
-                input_values * config.cpu_per_record_s
-                + ctx.comparisons * config.cpu_per_comparison_s
-            )
-            write_time = (
-                produced
-                * spec.output_record_width
-                * spec.output_replication
-                / config.disk_write_bytes_s
-            )
-            reducer_costs.append(io_time + cpu_time + write_time)
         return output_records, reducer_costs
+
+    def _run_reduce_phase_batched(
+        self,
+        spec: MapReduceJobSpec,
+        buckets: List[Dict[object, List[object]]],
+        metrics: JobMetrics,
+    ) -> Tuple[List[object], List[float]]:
+        """Batched reduce phase: whole buckets per call, key-major layout.
+
+        Each bucket's key groups are flattened into one value array plus
+        group offsets and handed to ``batch_reducer`` in a single call;
+        the returned :class:`ReduceBatch` carries the task's outputs (in
+        scalar emission order) and its comparison count, so every counter,
+        cost term, and output record is identical to the scalar loop.
+        """
+        output_records: List[object] = []
+        reducer_costs: List[float] = []
+        batch_reducer = spec.batch_reducer
+        assert batch_reducer is not None
+        fixed_width = spec.pair_width
+        width_fn = spec.pair_width_fn
+        for bucket in buckets:
+            keys = list(bucket)
+            offsets: List[int] = [0]
+            flat: List[object] = []
+            for values in bucket.values():
+                flat.extend(values)
+                offsets.append(len(flat))
+            batch = batch_reducer(keys, flat, offsets)
+            input_values = len(flat)
+            if batch.input_bytes is not None:
+                input_bytes = batch.input_bytes
+            elif fixed_width:
+                input_bytes = fixed_width * input_values
+            elif width_fn is not None:
+                input_bytes = 12 * input_values + sum(width_fn(v) for v in flat)
+            else:
+                input_bytes = sum(12 + estimate_width(v) for v in flat)
+            output_records.extend(batch.outputs)
+            metrics.reducer_input_bytes.append(input_bytes)
+            metrics.reduce_comparisons += batch.comparisons
+            reducer_costs.append(
+                self._reduce_task_cost(
+                    spec,
+                    input_bytes,
+                    input_values,
+                    batch.comparisons,
+                    len(batch.outputs),
+                )
+            )
+        return output_records, reducer_costs
+
+    def _reduce_task_cost(
+        self,
+        spec: MapReduceJobSpec,
+        input_bytes: int,
+        input_values: int,
+        comparisons: int,
+        produced: int,
+    ) -> float:
+        """One reduce task's simulated seconds (Equation 5's summand):
+        merge-sort I/O on the task's input, user CPU, output write."""
+        config = self.config
+        merge_passes = self._merge_passes(input_bytes)
+        io_time = input_bytes * merge_passes * (
+            1.0 / config.disk_read_bytes_s + 1.0 / config.disk_write_bytes_s
+        )
+        cpu_time = (
+            input_values * config.cpu_per_record_s
+            + comparisons * config.cpu_per_comparison_s
+        )
+        write_time = (
+            produced
+            * spec.output_record_width
+            * spec.output_replication
+            / config.disk_write_bytes_s
+        )
+        return io_time + cpu_time + write_time
 
     def _merge_passes(self, input_bytes: int) -> float:
         """How many times reduce input is re-read/written during merge sort."""

@@ -24,7 +24,6 @@ they should.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 

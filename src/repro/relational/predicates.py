@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 import operator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence, Tuple
 
 from repro.errors import QueryError

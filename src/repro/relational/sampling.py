@@ -19,7 +19,7 @@ the process-wide :class:`~repro.relational.stats_cache.PlanningCache`
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.relational.predicates import JoinCondition
 from repro.relational.query import JoinQuery
@@ -30,7 +30,6 @@ from repro.relational.stats_cache import (
     get_planning_cache,
     relation_fingerprint,
 )
-from repro.utils import make_rng
 
 
 class SampledJoinEstimator:

@@ -7,7 +7,7 @@ wire.  The defaults follow typical Hadoop SequenceFile encodings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.errors import SchemaError

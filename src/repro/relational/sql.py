@@ -19,7 +19,7 @@ how the paper labels edges.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import QueryError
 from repro.relational.predicates import JoinCondition, JoinPredicate

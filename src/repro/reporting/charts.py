@@ -16,7 +16,7 @@ logs, and markdown code fences alike.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Sequence
 
 #: Characters used to distinguish series in charts, in assignment order.
 SERIES_MARKS = "#*o+x@%&"

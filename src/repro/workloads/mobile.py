@@ -34,8 +34,7 @@ EXPERIMENTS.md):
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.errors import QueryError
 from repro.relational.predicates import JoinCondition

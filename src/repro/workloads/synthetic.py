@@ -8,7 +8,6 @@ random variables and to validate the model (Figures 7b and 8).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import QueryError
 from repro.relational.predicates import JoinCondition

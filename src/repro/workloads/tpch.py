@@ -16,7 +16,7 @@ lineitem taking its usual ~70% share of the bytes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import QueryError
 from repro.relational.predicates import JoinCondition

@@ -9,7 +9,7 @@ from repro.core.cost_model import (
 )
 from repro.errors import PlanningError
 from repro.mapreduce.config import ClusterConfig
-from repro.utils import GB, MB
+from repro.utils import GB
 
 
 @pytest.fixture

@@ -1,7 +1,7 @@
 """Property-based tests for merge planning (Section 4.2, Figure 4)."""
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.group_cost import (

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.plan import (
-    STRATEGY_EQUI,
     STRATEGY_HYPERCUBE,
     STRATEGY_ONEBUCKET,
     ExecutionPlan,

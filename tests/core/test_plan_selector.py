@@ -1,6 +1,5 @@
 """Tests for greedy set-cover job selection."""
 
-import pytest
 
 from repro.core.join_graph import JoinGraph
 from repro.core.join_path_graph import CandidateCost, build_join_path_graph

@@ -1,6 +1,5 @@
 """Tests for the end-to-end planner (G'JP -> Topt -> schedule)."""
 
-import pytest
 
 from repro.core.plan import STRATEGY_EQUI, STRATEGY_EQUICHAIN, STRATEGY_HYPERCUBE
 from repro.core.planner import ThetaJoinPlanner, default_unit_options

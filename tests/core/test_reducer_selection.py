@@ -5,7 +5,6 @@ import pytest
 from repro.core.partitioner import HypercubePartitioner
 from repro.core.reducer_selection import (
     LAMBDA_DEFAULT,
-    ReducerChoice,
     best_kr_for_map_output,
     candidate_reducer_counts,
     choose_reducer_count,

@@ -1,11 +1,14 @@
-"""Batch-vs-scalar mapper equivalence across the whole query matrix.
+"""Batch-vs-scalar equivalence across the whole query matrix.
 
-Every join job builder ships both a per-record ``mapper`` (the executable
-specification) and a vectorized ``batch_mapper``.  These tests run every
-map phase of every planner's plan through *both* paths and require
-bit-identical buckets (including key insertion order), counters, and
-shuffle bytes — on the paper's mobile queries and the TPC-H extensions —
-plus identical final answers across all four planners.
+Every join job builder ships a per-record ``mapper`` and a per-key-group
+``reducer`` (the executable specifications) plus vectorized
+``batch_mapper``/``batch_reducer`` counterparts.  These tests run every
+map AND reduce phase of every planner's plan through *both* paths and
+require bit-identical buckets (including key insertion order), outputs,
+counters, per-task costs, and shuffle bytes — on the paper's mobile
+queries and the TPC-H extensions — plus identical final answers across
+all four planners.  Synthetic large joins push the group sizes over the
+NumPy probe/pair-mask thresholds the benchmark grid stays under.
 """
 
 import dataclasses
@@ -14,11 +17,23 @@ import pytest
 
 from repro.baselines import HivePlanner, PigPlanner, YSmartPlanner
 from repro.core.executor import PlanExecutor
+from repro.core.partitioner import HypercubePartitioner
 from repro.core.planner import ThetaJoinPlanner
-from repro.joins.jobs import make_keyspread_partitioner
+from repro.joins.jobs import (
+    make_broadcast_join_job,
+    make_equi_join_job,
+    make_equichain_join_job,
+    make_hypercube_join_job,
+    make_keyspread_partitioner,
+)
+from repro.joins.records import relation_to_composite_file
 from repro.mapreduce.config import PAPER_CLUSTER_KP64
 from repro.mapreduce.counters import JobMetrics
 from repro.mapreduce.runtime import SimulatedCluster
+from repro.relational.predicates import JoinCondition
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.utils import make_rng
 from repro.workloads.mobile import mobile_benchmark_query
 from repro.workloads.tpch import tpch_benchmark_query
 
@@ -26,12 +41,13 @@ METHOD_PLANNERS = (ThetaJoinPlanner, YSmartPlanner, HivePlanner, PigPlanner)
 
 
 class BothPathsCluster(SimulatedCluster):
-    """A cluster that runs every batched map phase through the scalar
-    path as well and asserts exact agreement."""
+    """A cluster that runs every batched map and reduce phase through the
+    scalar path as well and asserts exact agreement."""
 
     def __init__(self, config):
         super().__init__(config)
         self.map_phases_checked = 0
+        self.reduce_phases_checked = 0
 
     def _run_map_phase(self, spec, metrics):
         result = super()._run_map_phase(spec, metrics)
@@ -53,18 +69,44 @@ class BothPathsCluster(SimulatedCluster):
         self.map_phases_checked += 1
         return result
 
+    def _run_reduce_phase(self, spec, buckets, metrics):
+        result = super()._run_reduce_phase(spec, buckets, metrics)
+        if spec.batch_reducer is None:
+            return result
+        scalar_metrics = JobMetrics(job_name=spec.name)
+        scalar_outputs, scalar_costs = super()._run_reduce_phase(
+            dataclasses.replace(spec, batch_reducer=None), buckets, scalar_metrics
+        )
+        batched_outputs, batched_costs = result
+        assert batched_outputs == scalar_outputs, (
+            f"{spec.name}: reduce outputs differ"
+        )
+        assert batched_costs == scalar_costs, f"{spec.name}: reduce costs differ"
+        assert (
+            metrics.reducer_input_bytes[-spec.num_reducers :]
+            == scalar_metrics.reducer_input_bytes
+        ), f"{spec.name}: reducer input bytes differ"
+        assert metrics.reduce_comparisons == scalar_metrics.reduce_comparisons, (
+            f"{spec.name}: comparison counts differ"
+        )
+        self.reduce_phases_checked += 1
+        return result
+
 
 def run_matrix(query):
     answers = set()
-    checked = 0
+    map_checked = 0
+    reduce_checked = 0
     for planner_cls in METHOD_PLANNERS:
         plan = planner_cls(PAPER_CLUSTER_KP64).plan(query)
         cluster = BothPathsCluster(PAPER_CLUSTER_KP64)
         outcome = PlanExecutor(cluster).execute(plan, query)
         answers.add(tuple(sorted(map(tuple, outcome.result.rows))))
-        checked += cluster.map_phases_checked
+        map_checked += cluster.map_phases_checked
+        reduce_checked += cluster.reduce_phases_checked
     assert len(answers) == 1, f"{query.name}: planners disagree"
-    assert checked > 0, f"{query.name}: no batched map phase exercised"
+    assert map_checked > 0, f"{query.name}: no batched map phase exercised"
+    assert reduce_checked > 0, f"{query.name}: no batched reduce phase exercised"
 
 
 @pytest.mark.parametrize("query_id", [1, 2, 3, 4])
@@ -75,6 +117,116 @@ def test_mobile_batch_equivalence(query_id):
 @pytest.mark.parametrize("query_id", [3, 5, 7])
 def test_tpch_batch_equivalence(query_id):
     run_matrix(tpch_benchmark_query(query_id, 200))
+
+
+def big_rel(name: str, rows: int, hi: int, groups: int, seed: int = 0) -> Relation:
+    rng = make_rng("batch-equiv", name, rows, seed)
+    return Relation(
+        name,
+        Schema.of("id:int", "v:int", "g:int"),
+        [
+            (i, rng.randint(0, hi - 1), rng.randint(0, groups - 1))
+            for i in range(rows)
+        ],
+    )
+
+
+def assert_both_reduce_paths_agree(spec):
+    """Run one job's reduce phase through both paths on the same buckets."""
+    cluster = SimulatedCluster(PAPER_CLUSTER_KP64)
+    metrics = JobMetrics(job_name=spec.name)
+    buckets, _ = cluster._run_map_phase(spec, metrics)
+    assert spec.batch_reducer is not None
+    batched_metrics = JobMetrics(job_name=spec.name)
+    batched = cluster._run_reduce_phase(spec, buckets, batched_metrics)
+    scalar_metrics = JobMetrics(job_name=spec.name)
+    scalar = cluster._run_reduce_phase(
+        dataclasses.replace(spec, batch_reducer=None), buckets, scalar_metrics
+    )
+    assert batched[0] == scalar[0]
+    assert batched[1] == scalar[1]
+    assert batched_metrics.reducer_input_bytes == scalar_metrics.reducer_input_bytes
+    assert batched_metrics.reduce_comparisons == scalar_metrics.reduce_comparisons
+    assert batched[0], f"{spec.name}: degenerate test, no outputs"
+
+
+class TestLargeGroupNumpyPaths:
+    """Group sizes above ``_NP_MIN_PROBE``/``_NP_MIN_PAIRS`` so the NumPy
+    sorted-probe and pair-mask fast paths run (and must stay exact)."""
+
+    def test_hypercube_range_probe(self):
+        rels = {"a": big_rel("A", 300, 2000, 4), "b": big_rel("B", 300, 2000, 4, 1)}
+        conditions = [JoinCondition.parse(1, "a.v < b.v")]
+        files = [relation_to_composite_file(rels[a], a) for a in ("a", "b")]
+        partitioner = HypercubePartitioner([300, 300], 2)
+        spec = make_hypercube_join_job(
+            "np-range",
+            files,
+            [("a",), ("b",)],
+            partitioner,
+            conditions,
+            {a: r.schema for a, r in rels.items()},
+        )
+        assert_both_reduce_paths_agree(spec)
+
+    def test_hypercube_hash_probe(self):
+        rels = {"a": big_rel("A", 300, 50, 3), "b": big_rel("B", 300, 50, 3, 1)}
+        conditions = [JoinCondition.parse(1, "a.g = b.g", "a.v < b.v")]
+        files = [relation_to_composite_file(rels[a], a) for a in ("a", "b")]
+        partitioner = HypercubePartitioner([300, 300], 2)
+        spec = make_hypercube_join_job(
+            "np-hash",
+            files,
+            [("a",), ("b",)],
+            partitioner,
+            conditions,
+            {a: r.schema for a, r in rels.items()},
+        )
+        assert_both_reduce_paths_agree(spec)
+
+    def test_equi_pair_mask(self):
+        rels = {"a": big_rel("A", 150, 40, 1), "b": big_rel("B", 150, 40, 1, 1)}
+        conditions = [JoinCondition.parse(1, "a.g = b.g", "a.v != b.v")]
+        spec = make_equi_join_job(
+            "np-equi",
+            relation_to_composite_file(rels["a"], "a"),
+            relation_to_composite_file(rels["b"], "b"),
+            conditions,
+            {a: r.schema for a, r in rels.items()},
+            num_reducers=2,
+        )
+        assert_both_reduce_paths_agree(spec)
+
+    def test_broadcast_pair_mask(self):
+        rels = {"a": big_rel("A", 300, 2000, 4), "b": big_rel("B", 80, 2000, 4, 1)}
+        conditions = [JoinCondition.parse(1, "a.v < b.v")]
+        spec = make_broadcast_join_job(
+            "np-bcast",
+            relation_to_composite_file(rels["a"], "a"),
+            relation_to_composite_file(rels["b"], "b"),
+            conditions,
+            {a: r.schema for a, r in rels.items()},
+            num_reducers=2,
+        )
+        assert_both_reduce_paths_agree(spec)
+
+    def test_equichain_pair_mask(self):
+        rels = {"a": big_rel("A", 200, 500, 1), "b": big_rel("B", 200, 500, 1, 1)}
+        conditions = [
+            JoinCondition.parse(1, "a.g = b.g"),
+            JoinCondition.parse(2, "a.v < b.v"),
+        ]
+        spec = make_equichain_join_job(
+            "np-chain",
+            [
+                relation_to_composite_file(rels["a"], "a"),
+                relation_to_composite_file(rels["b"], "b"),
+            ],
+            conditions,
+            {a: r.schema for a, r in rels.items()},
+            num_reducers=2,
+        )
+        assert_both_reduce_paths_agree(spec)
 
 
 class TestKeyspreadPartitioner:

@@ -75,7 +75,6 @@ class TestLoadingTimes:
         assert ours < hive * 1.25
 
     def test_replication_multiplies_upload(self):
-        from dataclasses import replace
 
         from repro.mapreduce.config import HadoopParameters
 

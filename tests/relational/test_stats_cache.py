@@ -1,6 +1,5 @@
 """Tests for the cross-query planning-statistics cache."""
 
-import pytest
 
 from repro.relational.predicates import JoinCondition
 from repro.relational.query import JoinQuery

@@ -6,7 +6,6 @@ Hypothesis generates random join graphs (chains, stars, cycles, mixed
 operators, offsets) and random data.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -10,7 +10,6 @@ from repro.joins.records import rows_by_alias
 from repro.relational.predicates import ThetaOp
 from repro.workloads.flights import (
     DAY_MINUTES,
-    DEFAULT_HORIZON_MINUTES,
     DEFAULT_STAYOVER,
     StayOver,
     flight_schema,

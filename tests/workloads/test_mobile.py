@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import QueryError
 from repro.workloads.mobile import (
-    DIURNAL_WEIGHTS,
     MOBILE_QUERY_IDS,
     NUM_DAYS,
     generate_mobile_calls,
