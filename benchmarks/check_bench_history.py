@@ -20,6 +20,18 @@ from pathlib import Path
 
 DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
 
+#: Per-metric slowdown allowances that override ``--threshold``.  The PR 4
+#: process-backend benches measure fork + IPC + scheduling, which swings
+#: far more between (shared-runner) machines than pure-compute loops; the
+#: disk-warm plan bench adds filesystem latency on top.  Keys absent from
+#: a baseline record are skipped automatically, so newly added benches
+#: only start gating once two ``after`` records carry them.
+METRIC_THRESHOLDS = {
+    "map_phase_process_s": 1.0,
+    "reduce_phase_process_s": 1.0,
+    "warm_disk_plan_s": 1.0,
+}
+
 
 def latest_after_records(history: list) -> list:
     """All ``after`` records, oldest first (history is append-only)."""
@@ -35,8 +47,9 @@ def compare(current: dict, baseline: dict, threshold: float) -> list:
             continue
         if base_value <= 0 or value <= 0:
             continue
+        allowed = METRIC_THRESHOLDS.get(metric, threshold)
         ratio = value / base_value
-        if ratio > 1.0 + threshold:
+        if ratio > 1.0 + allowed:
             regressions.append((metric, base_value, value, ratio))
     return regressions
 

@@ -92,6 +92,60 @@ def test_perf_reduce_phase_batch(benchmark):
     )
 
 
+def test_perf_map_phase_process(benchmark, monkeypatch):
+    """The same batched map phase sharded onto the process backend's
+    forked workers, mirroring ``map_phase_process_s``.  Checked for perf
+    only — bit-identity across backends is the equivalence suite's job
+    (tests/mapreduce/test_exec_backends.py)."""
+    from run_hotpath_bench import _hypercube_spec, _process_workers
+
+    from repro.mapreduce.counters import JobMetrics
+
+    monkeypatch.setenv("REPRO_EXEC_BACKEND", "process")
+    monkeypatch.setenv("REPRO_EXEC_WORKERS", str(_process_workers()))
+    cluster, spec = _hypercube_spec()
+    assert spec.batch_mapper is not None
+    benchmark(
+        lambda: cluster._run_map_phase(spec, JobMetrics(job_name=spec.name))
+    )
+
+
+def test_perf_reduce_phase_process(benchmark, monkeypatch):
+    """The batched reduce phase with whole buckets dispatched to forked
+    workers, mirroring ``reduce_phase_process_s``."""
+    from run_hotpath_bench import _hypercube_spec, _process_workers
+
+    from repro.mapreduce.counters import JobMetrics
+
+    cluster, spec = _hypercube_spec()
+    assert spec.batch_reducer is not None
+    buckets, _ = cluster._run_map_phase(spec, JobMetrics(job_name=spec.name))
+    monkeypatch.setenv("REPRO_EXEC_BACKEND", "process")
+    monkeypatch.setenv("REPRO_EXEC_WORKERS", str(_process_workers()))
+    benchmark(
+        lambda: cluster._run_reduce_phase(
+            spec, buckets, JobMetrics(job_name=spec.name)
+        )
+    )
+
+
+def test_perf_warm_disk_plan(benchmark, tmp_path):
+    """Planning with a fresh in-memory cache over a populated disk store
+    (a new process's steady state), mirroring ``warm_disk_plan_s``."""
+    from repro.relational.stats_cache import DiskCacheStore, PlanningCache
+
+    query = mobile_benchmark_query(2, 20)
+    cold = PlanningCache(disk=DiskCacheStore(tmp_path / "planning"))
+    ThetaJoinPlanner(PAPER_CLUSTER_KP64, planning_cache=cold).plan(query)
+
+    def warm_from_disk():
+        fresh = PlanningCache(disk=DiskCacheStore(tmp_path / "planning"))
+        return ThetaJoinPlanner(PAPER_CLUSTER_KP64, planning_cache=fresh).plan(query)
+
+    plan = benchmark(warm_from_disk)
+    assert plan.est_makespan_s > 0
+
+
 def test_perf_stats_cache_warm_plan(benchmark):
     """Planning against a warm cross-query statistics cache (the steady
     state of a benchmark run), mirroring ``stats_cache_warm_plan_s``."""

@@ -20,15 +20,24 @@ from probe jobs (Section 6.2).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.baselines import HivePlanner, PigPlanner, YSmartPlanner
 from repro.core.executor import PlanExecutor
 from repro.core.planner import ThetaJoinPlanner
-from repro.mapreduce.config import ClusterConfig
+from repro.mapreduce.config import (
+    CACHE_DIR_ENV,
+    EXEC_BACKEND_ENV,
+    EXEC_BACKENDS,
+    EXEC_WORKERS_ENV,
+    PLAN_DISK_CACHE_ENV,
+    ClusterConfig,
+)
 from repro.mapreduce.runtime import SimulatedCluster
 from repro.relational.query import JoinQuery
+from repro.relational.stats_cache import reset_default_planning_cache
 from repro.utils import format_bytes
 
 PLANNERS: Dict[str, Callable] = {
@@ -214,9 +223,95 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def apply_execution_flags(args: argparse.Namespace) -> Callable[[], None]:
+    """Map the CLI's execution flags onto the ``REPRO_*`` environment.
+
+    The environment is the single source of truth
+    (:class:`repro.mapreduce.config.ExecutionSettings` reads it fresh),
+    so setting it here configures every layer — runtime phases, executor
+    waves, and the planning cache — without threading parameters through.
+    Explicit environment variables win over CLI defaults, which keeps
+    ``REPRO_EXEC_BACKEND=process python -m repro.cli ...`` working.
+
+    Returns a restore callable: :func:`main` runs the command under the
+    mapped environment, then undoes the mutations so library callers
+    invoking ``main()`` in-process don't inherit CLI defaults (notably
+    the disk cache, which is opt-in outside the CLI).
+    """
+    saved = {
+        name: os.environ.get(name)
+        for name in (
+            EXEC_BACKEND_ENV,
+            EXEC_WORKERS_ENV,
+            PLAN_DISK_CACHE_ENV,
+            CACHE_DIR_ENV,
+        )
+    }
+    backend = getattr(args, "backend", None)
+    workers = getattr(args, "workers", 0)
+    if not backend and workers and EXEC_BACKEND_ENV not in os.environ:
+        # --workers alone states parallel intent; process is the backend
+        # that actually uses the cores (documented in --workers help).
+        backend = "process"
+    if backend:
+        os.environ[EXEC_BACKEND_ENV] = backend
+    if workers:
+        os.environ[EXEC_WORKERS_ENV] = str(workers)
+    if getattr(args, "no_disk_cache", False):
+        os.environ[PLAN_DISK_CACHE_ENV] = "0"
+    elif PLAN_DISK_CACHE_ENV not in os.environ:
+        # CLI default: persist planning statistics so the next run of the
+        # same data starts warm (tests and library users stay opt-in).
+        os.environ[PLAN_DISK_CACHE_ENV] = "1"
+    if getattr(args, "cache_dir", None):
+        os.environ[CACHE_DIR_ENV] = args.cache_dir
+    reset_default_planning_cache()
+
+    def restore() -> None:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        reset_default_planning_cache()
+
+    return restore
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Multi-way theta-join reproduction CLI"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=EXEC_BACKENDS,
+        default=None,
+        help="execution backend for map chunks / reduce buckets / job waves "
+        "(default: REPRO_EXEC_BACKEND or serial)",
+    )
+    def positive_workers(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError("--workers must be >= 0")
+        return value
+
+    parser.add_argument(
+        "--workers",
+        type=positive_workers,
+        default=0,
+        help="worker count for the thread/process backends (0 = auto); "
+        "given without --backend it selects the process backend",
+    )
+    parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="disable the disk-persistent planning cache (on by default "
+        "for CLI runs; REPRO_CACHE_DIR overrides its location)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="root of the on-disk planning cache (default ~/.cache/repro)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -270,7 +365,11 @@ def make_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    restore = apply_execution_flags(args)
+    try:
+        return args.func(args)
+    finally:
+        restore()
 
 
 if __name__ == "__main__":

@@ -50,6 +50,7 @@ from repro.joins.records import (
     merge_composites,
     relation_to_composite_file,
 )
+from repro.mapreduce.backend import get_backend
 from repro.mapreduce.counters import ExecutionReport, JobMetrics
 from repro.mapreduce.hdfs import DistributedFile
 from repro.mapreduce.runtime import SimulatedCluster
@@ -235,7 +236,14 @@ class PlanExecutor:
         while remaining or running:
             # Start every ready job that fits, in plan order.  Starting a
             # job only consumes units, so one ordered pass reaches the
-            # same fixed point the previous repeated sweeps did.
+            # same fixed point the previous repeated sweeps did.  The
+            # pass first *selects* the wave (selection depends only on
+            # units and dependencies, never on job results), then
+            # executes the whole wave through the execution backend —
+            # independent jobs of one wave really run concurrently while
+            # simulated start times, durations, and metrics order stay
+            # exactly those of the serial loop.
+            wave: List[Tuple[PlannedJob, int]] = []
             index = 0
             while index < len(ready):
                 job = ready[index]
@@ -249,14 +257,22 @@ class PlanExecutor:
                 if earliest > now:
                     index += 1
                     continue
-                duration = self._run_single_job(
-                    job, query, schemas, base_files, job_outputs, report
-                )
-                heapq.heappush(running, (now + duration, job.job_id, units))
+                wave.append((job, units))
                 available -= units
                 remaining -= 1
                 del ready[index]
                 del ready_keys[index]
+            if wave:
+                durations = self._run_job_wave(
+                    [job for job, _ in wave],
+                    query,
+                    schemas,
+                    base_files,
+                    job_outputs,
+                    report,
+                )
+                for (job, units), duration in zip(wave, durations):
+                    heapq.heappush(running, (now + duration, job.job_id, units))
             if remaining or running:
                 if not running:
                     stuck = sorted(
@@ -278,6 +294,79 @@ class PlanExecutor:
                     available += units2
                     release_dependents(job_id2)
         return done
+
+    def _run_job_wave(
+        self,
+        jobs: List[PlannedJob],
+        query: JoinQuery,
+        schemas,
+        base_files: Mapping[str, DistributedFile],
+        job_outputs: Dict[str, DistributedFile],
+        report: ExecutionReport,
+    ) -> List[float]:
+        """Run one ready wave of independent jobs; returns their durations.
+
+        Jobs of a wave share no dependencies (they were startable at the
+        same simulated instant), so their *computation* can run
+        concurrently on the execution backend.  Specs are materialized
+        parent-side in wave order (partitioner/composite caches stay
+        warm and single-threaded); only the pure ``run_job`` calls are
+        dispatched.  Results are folded back strictly in wave order, so
+        ``report.job_metrics``, HDFS contents, and every downstream
+        decision are identical to the serial loop.
+        """
+        backend = get_backend()
+        if len(jobs) <= 1 or backend.name == "serial":
+            return [
+                self._run_single_job(
+                    job, query, schemas, base_files, job_outputs, report
+                )
+                for job in jobs
+            ]
+
+        specs: List[Optional[object]] = []
+        for job in jobs:
+            resolved = [
+                base_files[ref.name] if ref.kind == "base" else job_outputs[ref.name]
+                for ref in job.inputs
+            ]
+            if any(f.num_records == 0 for f in resolved):
+                specs.append(None)  # empty-input short circuit, handled below
+            else:
+                specs.append(
+                    self._materialize(job, query, schemas, base_files, job_outputs)
+                )
+
+        cluster = self.cluster
+        parallel = [
+            (job, spec) for job, spec in zip(jobs, specs) if spec is not None
+        ]
+
+        def run_one(index: int):
+            job, spec = parallel[index]
+            return cluster.run_job(spec, map_units=job.units, reduce_units=job.units)
+
+        results = iter(backend.run_tasks(run_one, len(parallel)))
+
+        durations: List[float] = []
+        for job, spec in zip(jobs, specs):
+            if spec is None:
+                durations.append(
+                    self._run_single_job(
+                        job, query, schemas, base_files, job_outputs, report
+                    )
+                )
+                continue
+            result = next(results)
+            # The job ran against a (possibly forked) copy of the cluster;
+            # publish its output in the parent's namespace.
+            self.cluster.hdfs.put(result.output)
+            result.metrics.total_time_s += job.extra_startup_s
+            result.metrics.startup_time_s += job.extra_startup_s
+            report.job_metrics.append(result.metrics)
+            job_outputs[job.job_id] = result.output
+            durations.append(result.metrics.total_time_s)
+        return durations
 
     def _run_single_job(
         self,

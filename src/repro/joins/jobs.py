@@ -36,6 +36,7 @@ from repro.joins.records import (
     merge_composites,
     rows_by_alias,
 )
+from repro.mapreduce.config import execution_settings
 from repro.mapreduce.hdfs import DistributedFile
 from repro.mapreduce.job import MapBatch, MapReduceJobSpec, ReduceBatch, TaskContext
 from repro.relational.predicates import JoinCondition
@@ -251,10 +252,29 @@ def _compile_checks(
 # merge exact; otherwise the job simply runs its scalar reducer.
 # ---------------------------------------------------------------------------
 
-#: Candidate-count threshold above which sorted probes go through NumPy.
+#: Candidate-count threshold above which sorted probes go through NumPy,
+#: and pair-count threshold above which condition checks do.  The values
+#: live in :class:`repro.mapreduce.config.ExecutionSettings`
+#: (``REPRO_NP_MIN_PROBE`` / ``REPRO_NP_MIN_PAIRS``); they are snapshotted
+#: into module globals because the comparison sits in per-group inner
+#: loops.  Call :func:`refresh_np_gates` after changing the environment.
 _NP_MIN_PROBE = 128
-#: Pair-count threshold above which condition checks go through NumPy.
 _NP_MIN_PAIRS = 256
+
+
+def refresh_np_gates() -> None:
+    """Re-read the NumPy size gates from the environment.
+
+    Already-built jobs pick the new values up too: their compiled
+    closures read the module globals at call time.
+    """
+    global _NP_MIN_PROBE, _NP_MIN_PAIRS
+    settings = execution_settings()
+    _NP_MIN_PROBE = settings.np_min_probe
+    _NP_MIN_PAIRS = settings.np_min_pairs
+
+
+refresh_np_gates()
 
 
 def _merge_spec(bound_cover: Sequence[str], new_cover: Sequence[str]):

@@ -1,0 +1,255 @@
+"""Pluggable execution backends: serial / thread / process task pools.
+
+The simulated runtime (PR 2/3) reduced both MapReduce phases to lists of
+*independent* tasks — map chunks whose :class:`MapBatch` results merge in
+deterministic input order, and reduce buckets whose outputs concatenate
+in bucket order.  The plan executor's ready waves are independent in the
+same way.  This module is the one place that decides how such task lists
+actually run:
+
+* ``serial``  — in-line loop (the default; zero overhead, zero risk);
+* ``thread``  — a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+  (the GIL throttles pure-Python mappers, but the NumPy probe/pair paths
+  release it);
+* ``process`` — a fork-context :mod:`multiprocessing` pool for true
+  multi-core execution of the pure-Python fallback paths.
+
+Every backend exposes the same contract — ``run_tasks(fn, count)``
+returns ``[fn(0), fn(1), ..., fn(count - 1)]`` **in index order** — so
+callers merge results exactly as the serial loop would and outputs stay
+bit-identical across backends.
+
+Process backend mechanics
+-------------------------
+Join-job callables are build-time-compiled closures (condition checks,
+merge specs, slab tables) that standard pickling cannot ship, and their
+captured inputs can be large.  The process backend therefore never
+pickles a task function: the parent **registers** the callable in a
+module-level job registry and forks its worker pool *after* registration,
+so workers inherit the registry (and everything the closure captures)
+through copy-on-write fork memory.  A task payload is just the pair
+``(registry token, task index)`` — the "cheap task payloads" handshake.
+The pool is reused only while its fork-time registry snapshot is
+current; a batch that registered a *new* callable (which is every phase
+of every job, since closures are compiled per job) triggers a re-fork —
+cheap on Linux (COW pages, no re-import, no re-pickling), so in
+practice the backend forks once per task batch.  Pool workers set a flag
+that makes :func:`get_backend` return the serial backend inside them, so
+nested parallelism (e.g. a whole job running in a worker whose phases
+would try to fork again) degrades safely.
+
+Platforms without the ``fork`` start method (Windows) fall back to the
+thread backend with a one-time note; results are identical either way.
+"""
+
+from __future__ import annotations
+
+import atexit
+import sys
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mapreduce.config import ExecutionSettings, execution_settings
+
+#: Task callable: index -> result.  Results must not depend on *when* or
+#: *where* the call runs — the backends only promise index order.
+TaskFn = Callable[[int], object]
+
+#: Set in forked pool workers (via the pool initializer) so nested
+#: ``get_backend`` calls degrade to serial instead of forking again.
+_IN_WORKER = False
+
+#: Thread-local mirror of the same guard for the thread backend: a task
+#: already running on the pool must not fan out onto the pool again (all
+#: workers could end up blocked waiting on sub-tasks queued behind them).
+_TLS = threading.local()
+
+# -- the job registry (parent writes, forked workers inherit) -----------
+
+_TASK_REGISTRY: Dict[int, TaskFn] = {}
+_REGISTRY_VERSION = 0
+_NEXT_TOKEN = 0
+
+
+def _register_task_fn(fn: TaskFn) -> int:
+    """Parent side of the handshake: registry slot + version bump."""
+    global _REGISTRY_VERSION, _NEXT_TOKEN
+    _NEXT_TOKEN += 1
+    _REGISTRY_VERSION += 1
+    _TASK_REGISTRY[_NEXT_TOKEN] = fn
+    return _NEXT_TOKEN
+
+
+def _unregister_task_fn(token: int) -> None:
+    _TASK_REGISTRY.pop(token, None)
+
+
+def _worker_init() -> None:  # pragma: no cover - runs in forked children
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _invoke_registered(payload: Tuple[int, int]) -> object:
+    """Worker side: look the callable up in the inherited registry."""
+    token, index = payload
+    return _TASK_REGISTRY[token](index)
+
+
+# -- backends ------------------------------------------------------------
+
+
+class SerialBackend:
+    """The in-line loop every other backend must be bit-identical to."""
+
+    name = "serial"
+
+    def run_tasks(self, fn: TaskFn, count: int) -> List[object]:
+        return [fn(index) for index in range(count)]
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadBackend:
+    """A persistent thread pool; helps when tasks release the GIL."""
+
+    name = "thread"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, workers)
+        self._pool = None
+
+    def run_tasks(self, fn: TaskFn, count: int) -> List[object]:
+        if count <= 1 or self.workers <= 1:
+            return [fn(index) for index in range(count)]
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+
+        def guarded(index: int) -> object:
+            _TLS.in_task = True
+            try:
+                return fn(index)
+            finally:
+                _TLS.in_task = False
+
+        return list(self._pool.map(guarded, range(count)))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+class ProcessBackend:
+    """Fork-context worker pool fed through the job registry (see module
+    docstring).  Falls back to threads where ``fork`` is unavailable."""
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, workers)
+        self._pool = None
+        self._forked_version = -1
+        self._fallback: Optional[ThreadBackend] = None
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _fork_context(self):
+        import multiprocessing
+
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platform
+            return None
+
+    def _ensure_pool(self):
+        """The worker pool, re-forked whenever the registry moved past
+        its fork-time snapshot (i.e. per batch for per-job closures)."""
+        if self._pool is not None and self._forked_version == _REGISTRY_VERSION:
+            return self._pool
+        context = self._fork_context()
+        if context is None:  # pragma: no cover - non-POSIX platform
+            return None
+        self._terminate_pool()
+        self._pool = context.Pool(self.workers, initializer=_worker_init)
+        self._forked_version = _REGISTRY_VERSION
+        return self._pool
+
+    def _terminate_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # -- execution ------------------------------------------------------
+
+    def run_tasks(self, fn: TaskFn, count: int) -> List[object]:
+        if count <= 1 or self.workers <= 1:
+            return [fn(index) for index in range(count)]
+        token = _register_task_fn(fn)
+        try:
+            pool = self._ensure_pool()
+            if pool is None:  # pragma: no cover - non-POSIX platform
+                if self._fallback is None:
+                    print(
+                        "repro: 'fork' start method unavailable; process "
+                        "backend running on threads",
+                        file=sys.stderr,
+                    )
+                    self._fallback = ThreadBackend(self.workers)
+                return self._fallback.run_tasks(fn, count)
+            payloads = [(token, index) for index in range(count)]
+            chunksize = max(1, count // (self.workers * 4))
+            return pool.map(_invoke_registered, payloads, chunksize=chunksize)
+        finally:
+            _unregister_task_fn(token)
+
+    def close(self) -> None:
+        self._terminate_pool()
+        self._forked_version = -1
+        if self._fallback is not None:  # pragma: no cover - non-POSIX
+            self._fallback.close()
+            self._fallback = None
+
+
+# -- backend selection ---------------------------------------------------
+
+_SERIAL = SerialBackend()
+_BACKENDS: Dict[Tuple[str, int], object] = {}
+
+
+def get_backend(settings: Optional[ExecutionSettings] = None):
+    """The process-wide backend for ``settings`` (default: environment).
+
+    Inside a forked pool worker (or a thread-backend task) this always
+    returns the serial backend, whatever the environment says — pool
+    workers are daemonic and must not fork grandchildren, and thread
+    tasks must not fan out onto their own pool.
+    """
+    if _IN_WORKER or getattr(_TLS, "in_task", False):
+        return _SERIAL
+    if settings is None:
+        settings = execution_settings()
+    if not settings.parallel:
+        return _SERIAL
+    key = (settings.backend, settings.effective_workers)
+    backend = _BACKENDS.get(key)
+    if backend is None:
+        cls = ThreadBackend if settings.backend == "thread" else ProcessBackend
+        backend = cls(settings.effective_workers)
+        _BACKENDS[key] = backend
+    return backend
+
+
+def close_backends() -> None:
+    """Shut down every pooled backend (tests, interpreter exit)."""
+    for backend in _BACKENDS.values():
+        backend.close()
+    _BACKENDS.clear()
+
+
+atexit.register(close_backends)

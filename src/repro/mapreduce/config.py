@@ -4,11 +4,20 @@ Defaults mirror the paper's test bed (Section 6.1): a 13-node cluster
 (1 master + 12 workers), 104 cores total, TestDFSIO-measured disk rates
 of 74.26 MB/s reading and 14.69 MB/s writing, a 10 GbE switch, and the
 Hadoop parameter set of Table 1.
+
+This module also owns :class:`ExecutionSettings` — the single typed home
+of every environment knob that shapes *how* the repository itself runs
+(which execution backend, how many workers, the NumPy size gates, the
+disk-persistent planning cache), as opposed to the simulated hardware the
+dataclasses above describe.  The README documents the full knob table.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional
 
 from repro.utils import MB
 
@@ -104,3 +113,115 @@ PAPER_CLUSTER = ClusterConfig()
 
 #: The constrained configuration used in Figures 10 and 13 (kP <= 64).
 PAPER_CLUSTER_KP64 = PAPER_CLUSTER.with_units(64)
+
+
+# ----------------------------------------------------------------------
+# Execution settings: the repository's own runtime knobs (environment)
+# ----------------------------------------------------------------------
+
+#: Which executor runs independent map chunks / reduce buckets / ready
+#: jobs: ``serial`` (in-line), ``thread`` (GIL-shared pool, helps the
+#: NumPy paths), or ``process`` (fork-based pool, true multi-core).
+EXEC_BACKEND_ENV = "REPRO_EXEC_BACKEND"
+#: Worker count for the thread/process backends; 0 = auto (cpu count).
+EXEC_WORKERS_ENV = "REPRO_EXEC_WORKERS"
+#: Legacy knob from PR 2: chunk fan-out + thread count for the batched
+#: map phase.  Still honoured: setting it (>1) without a backend choice
+#: selects the thread backend with that many workers.
+MAP_SHARDS_ENV = "REPRO_MAP_SHARDS"
+#: Candidate-count gate above which sorted/hash probes go through NumPy.
+NP_MIN_PROBE_ENV = "REPRO_NP_MIN_PROBE"
+#: Pair-count gate above which condition checks go through NumPy.
+NP_MIN_PAIRS_ENV = "REPRO_NP_MIN_PAIRS"
+#: "1" spills the PlanningCache to disk (samples/stats/join observations
+#: persist across processes); "0" keeps it in-memory only.  The CLI turns
+#: this on by default so repeated runs start warm.
+PLAN_DISK_CACHE_ENV = "REPRO_PLAN_DISK_CACHE"
+#: Root directory of the on-disk planning cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Valid values for ``REPRO_EXEC_BACKEND``.
+EXEC_BACKENDS = ("serial", "thread", "process")
+
+
+def _env_int(name: str, default: int, minimum: int = 0) -> int:
+    try:
+        return max(minimum, int(os.environ.get(name, str(default))))
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """Typed snapshot of every ``REPRO_*`` execution knob.
+
+    Build one from the environment with :func:`execution_settings` (a
+    fresh read each call, so ``monkeypatch.setenv`` in tests and CLI
+    ``os.environ`` writes take effect immediately — none of these knobs
+    sit on a hot path).
+    """
+
+    #: ``serial`` | ``thread`` | ``process`` — how independent tasks run.
+    backend: str = "serial"
+    #: Worker count for parallel backends; 0 means "auto" (cpu count).
+    workers: int = 0
+    #: Chunk fan-out for the batched map phase (legacy ``REPRO_MAP_SHARDS``).
+    map_shards: int = 1
+    #: NumPy probe gate (``_NP_MIN_PROBE`` before consolidation).
+    np_min_probe: int = 128
+    #: NumPy pair-mask gate (``_NP_MIN_PAIRS`` before consolidation).
+    np_min_pairs: int = 256
+    #: Whether the PlanningCache persists to disk across processes.
+    plan_disk_cache: bool = False
+    #: Root of the on-disk cache (``~/.cache/repro`` by default).
+    cache_dir: Optional[str] = None
+
+    @classmethod
+    def from_env(cls) -> "ExecutionSettings":
+        backend = os.environ.get(EXEC_BACKEND_ENV, "").strip().lower()
+        map_shards = _env_int(MAP_SHARDS_ENV, 1, minimum=1)
+        if backend not in EXEC_BACKENDS:
+            # Unset/invalid: legacy REPRO_MAP_SHARDS>1 implies threads
+            # (PR 2 semantics); otherwise everything stays serial.
+            backend = "thread" if map_shards > 1 else "serial"
+        return cls(
+            backend=backend,
+            workers=_env_int(EXEC_WORKERS_ENV, 0),
+            map_shards=map_shards,
+            np_min_probe=_env_int(NP_MIN_PROBE_ENV, 128),
+            np_min_pairs=_env_int(NP_MIN_PAIRS_ENV, 256),
+            plan_disk_cache=os.environ.get(PLAN_DISK_CACHE_ENV, "0") == "1",
+            cache_dir=os.environ.get(CACHE_DIR_ENV) or None,
+        )
+
+    @property
+    def effective_workers(self) -> int:
+        """Actual pool size: explicit count, legacy shards, or cpu count."""
+        if self.workers > 0:
+            return self.workers
+        if self.map_shards > 1:
+            return self.map_shards
+        return os.cpu_count() or 1
+
+    @property
+    def parallel(self) -> bool:
+        return self.backend != "serial" and self.effective_workers > 1
+
+    @property
+    def chunk_fanout(self) -> int:
+        """Per-file chunk count for the batched map phase: the legacy
+        shard knob when serial (or not parallel), else >= workers so
+        every worker has something to do."""
+        if not self.parallel:
+            return max(1, self.map_shards)
+        return max(self.effective_workers, self.map_shards)
+
+    def resolved_cache_dir(self) -> Path:
+        if self.cache_dir:
+            return Path(self.cache_dir).expanduser()
+        return Path("~/.cache/repro").expanduser()
+
+
+def execution_settings() -> ExecutionSettings:
+    """The current environment's :class:`ExecutionSettings` (fresh read)."""
+    return ExecutionSettings.from_env()

@@ -21,29 +21,29 @@ need "measured" times distinct from model estimates use a small sigma.
 from __future__ import annotations
 
 import math
-import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
-from repro.mapreduce.config import ClusterConfig
+from repro.mapreduce.backend import get_backend
+from repro.mapreduce.config import (
+    MAP_SHARDS_ENV,  # noqa: F401  (re-exported; PR 2's public location)
+    ClusterConfig,
+    execution_settings,
+)
 from repro.mapreduce.counters import JobMetrics
 from repro.mapreduce.hdfs import DistributedFile, SimulatedHDFS
 from repro.mapreduce.job import JobResult, MapReduceJobSpec, TaskContext, estimate_width
 from repro.utils import ceil_div, make_rng
 
-#: Environment switch for shard-parallel batched mapping: the number of
-#: worker threads (and the chunking fan-out).  The default of 1 keeps the
-#: map loop serial — results are bit-identical either way, because chunk
-#: batches are merged in deterministic input order.
-MAP_SHARDS_ENV = "REPRO_MAP_SHARDS"
-
 
 def map_shard_count() -> int:
-    """Worker threads for the batched map phase (>= 1)."""
-    try:
-        return max(1, int(os.environ.get(MAP_SHARDS_ENV, "1")))
-    except ValueError:
-        return 1
+    """Chunk fan-out for the batched map phase (>= 1).
+
+    Kept for backward compatibility with PR 2; the knob now lives in
+    :class:`repro.mapreduce.config.ExecutionSettings` together with the
+    backend selection (``REPRO_EXEC_BACKEND`` / ``REPRO_EXEC_WORKERS``).
+    """
+    return execution_settings().map_shards
 
 
 class SimulatedCluster:
@@ -171,33 +171,30 @@ class SimulatedCluster:
         merged into the global buckets strictly in chunk order, so key
         insertion order and per-key value order — hence reducer iteration
         order, metrics, and answers — are identical to the scalar loop.
-        Chunks are independent, which is what lets them shard across a
-        thread pool (``REPRO_MAP_SHARDS``) without changing any output.
+        Chunks are independent, which is what lets them shard across the
+        selected execution backend (``REPRO_EXEC_BACKEND`` /
+        ``REPRO_MAP_SHARDS``) without changing any output.
         """
-        shards = map_shard_count()
+        settings = execution_settings()
+        fanout = settings.chunk_fanout
         chunks: List[Tuple[str, Sequence[object], int]] = []
         for file in spec.inputs:
             records = file.records
             if not records:
                 continue
-            if shards <= 1:
+            if fanout <= 1:
                 chunks.append((file.tag, records, 0))
                 continue
-            per_chunk = max(1, ceil_div(len(records), shards))
+            per_chunk = max(1, ceil_div(len(records), fanout))
             for start in range(0, len(records), per_chunk):
                 chunks.append((file.tag, records[start : start + per_chunk], start))
 
         batch_mapper = spec.batch_mapper
         assert batch_mapper is not None
-        if shards > 1 and len(chunks) > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=shards) as pool:
-                batches = list(
-                    pool.map(lambda chunk: batch_mapper(*chunk), chunks)
-                )
-        else:
-            batches = [batch_mapper(*chunk) for chunk in chunks]
+        backend = get_backend(settings)
+        batches = backend.run_tasks(
+            lambda index: batch_mapper(*chunks[index]), len(chunks)
+        )
 
         buckets: List[Dict[object, List[object]]] = [
             {} for _ in range(spec.num_reducers)
@@ -288,14 +285,62 @@ class SimulatedCluster:
         the returned :class:`ReduceBatch` carries the task's outputs (in
         scalar emission order) and its comparison count, so every counter,
         cost term, and output record is identical to the scalar loop.
+
+        Reduce tasks are independent by construction (each consumes one
+        bucket and shares nothing), so whole buckets are dispatched
+        through the execution backend and the per-bucket results merged
+        in bucket order — counters, costs, and outputs are bit-identical
+        across serial, thread, and process backends.
         """
-        output_records: List[object] = []
-        reducer_costs: List[float] = []
         batch_reducer = spec.batch_reducer
         assert batch_reducer is not None
         fixed_width = spec.pair_width
         width_fn = spec.pair_width_fn
-        for bucket in buckets:
+        backend = get_backend()
+
+        if backend.name == "serial":
+            # Inline loop for the serial default: identical arithmetic to
+            # the task path below, without paying a per-bucket closure
+            # call and result repack on the single-core hot path (a
+            # measured ~8% of the warm fig-10 e2e microbench).  Any
+            # change here MUST be mirrored in reduce_bucket below —
+            # tests/mapreduce/test_exec_backends.py enforces the
+            # bit-identity of the two paths across the full query grid.
+            output_records: List[object] = []
+            reducer_costs: List[float] = []
+            for bucket in buckets:
+                keys = list(bucket)
+                offsets: List[int] = [0]
+                flat: List[object] = []
+                for values in bucket.values():
+                    flat.extend(values)
+                    offsets.append(len(flat))
+                batch = batch_reducer(keys, flat, offsets)
+                input_values = len(flat)
+                if batch.input_bytes is not None:
+                    input_bytes = batch.input_bytes
+                elif fixed_width:
+                    input_bytes = fixed_width * input_values
+                elif width_fn is not None:
+                    input_bytes = 12 * input_values + sum(width_fn(v) for v in flat)
+                else:
+                    input_bytes = sum(12 + estimate_width(v) for v in flat)
+                output_records.extend(batch.outputs)
+                metrics.reducer_input_bytes.append(input_bytes)
+                metrics.reduce_comparisons += batch.comparisons
+                reducer_costs.append(
+                    self._reduce_task_cost(
+                        spec,
+                        input_bytes,
+                        input_values,
+                        batch.comparisons,
+                        len(batch.outputs),
+                    )
+                )
+            return output_records, reducer_costs
+
+        def reduce_bucket(index: int) -> Tuple[List[object], int, int, float]:
+            bucket = buckets[index]
             keys = list(bucket)
             offsets: List[int] = [0]
             flat: List[object] = []
@@ -312,18 +357,20 @@ class SimulatedCluster:
                 input_bytes = 12 * input_values + sum(width_fn(v) for v in flat)
             else:
                 input_bytes = sum(12 + estimate_width(v) for v in flat)
-            output_records.extend(batch.outputs)
-            metrics.reducer_input_bytes.append(input_bytes)
-            metrics.reduce_comparisons += batch.comparisons
-            reducer_costs.append(
-                self._reduce_task_cost(
-                    spec,
-                    input_bytes,
-                    input_values,
-                    batch.comparisons,
-                    len(batch.outputs),
-                )
+            cost = self._reduce_task_cost(
+                spec, input_bytes, input_values, batch.comparisons, len(batch.outputs)
             )
+            return batch.outputs, input_bytes, batch.comparisons, cost
+
+        results = backend.run_tasks(reduce_bucket, len(buckets))
+
+        output_records: List[object] = []
+        reducer_costs: List[float] = []
+        for outputs, input_bytes, comparisons, cost in results:
+            output_records.extend(outputs)
+            metrics.reducer_input_bytes.append(input_bytes)
+            metrics.reduce_comparisons += comparisons
+            reducer_costs.append(cost)
         return output_records, reducer_costs
 
     def _reduce_task_cost(

@@ -36,13 +36,31 @@ every planner, which is what lets the fig-10 four-planner comparison and
 the benchmark sweeps skip redundant sampling.  Pass a private
 :class:`PlanningCache` to the planner/estimator for isolation, or call
 :meth:`PlanningCache.clear` between unrelated workloads.
+
+Disk persistence (PR 4)
+-----------------------
+With ``REPRO_PLAN_DISK_CACHE=1`` (the CLI's default) the cache is backed
+by a :class:`DiskCacheStore` under ``~/.cache/repro`` (override with
+``REPRO_CACHE_DIR``): every computed sample, statistics object, and join
+observation is written through to disk, and in-memory misses consult the
+store before recomputing — so a *new process* planning the same content
+starts warm.  Entries are keyed by the same content fingerprints as the
+in-memory tables (serialized canonically, since ``frozenset`` iteration
+order is not stable across processes), carry their full key in the
+payload (a digest collision or stale format can never serve a wrong
+value), and any unreadable or mismatching file is silently deleted and
+rebuilt — a corrupt cache can cost time, never correctness.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import tempfile
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.relational.relation import Relation
 from repro.relational.statistics import RelationStats, compute_relation_stats
@@ -121,13 +139,209 @@ class _LRUTable:
         self.data.clear()
 
 
+def _stable_key_repr(key: object) -> str:
+    """Canonical, process-independent serialization of a cache key.
+
+    ``repr`` alone is unstable for ``frozenset``/``set`` members (their
+    iteration order follows per-process string hashes), so unordered
+    collections are rendered as sorted member lists.  Everything the
+    cache uses as keys is built from tuples, strings, numbers, and
+    frozensets of the same.
+    """
+    if isinstance(key, (frozenset, set)):
+        return "{" + ",".join(sorted(_stable_key_repr(k) for k in key)) + "}"
+    if isinstance(key, tuple):
+        return "(" + ",".join(_stable_key_repr(k) for k in key) + ")"
+    if isinstance(key, list):
+        return "[" + ",".join(_stable_key_repr(k) for k in key) + "]"
+    if isinstance(key, dict):
+        return (
+            "{"
+            + ",".join(
+                sorted(
+                    _stable_key_repr(k) + ":" + _stable_key_repr(v)
+                    for k, v in key.items()
+                )
+            )
+            + "}"
+        )
+    return repr(key)
+
+
+#: Bump when the on-disk payload layout changes; older files are treated
+#: as misses and deleted on contact.
+_DISK_FORMAT = 1
+
+
+def _code_version() -> str:
+    """The writing code's version, embedded in every payload: pickled
+    class layouts (RelationStats, Relation, ...) can change between
+    releases without failing to unpickle, so an entry written by a
+    different version reads as a miss instead of surfacing a
+    stale-shaped object to the planner."""
+    try:
+        from repro import __version__
+
+        return __version__
+    except ImportError:  # pragma: no cover - partial install
+        return "unknown"
+
+
+class DiskCacheStore:
+    """Content-addressed pickle files backing a :class:`PlanningCache`.
+
+    One file per entry, ``<root>/<table>/<sha256(key)>.pkl``, written
+    atomically (temp file + rename) so readers in other processes never
+    see a torn write.  The payload embeds the full key: a load whose
+    stored key differs from the requested one (hash collision, stale
+    format) is a miss and the file is removed.  Any failure to read,
+    unpickle, or validate is swallowed the same way — the store can only
+    ever cost a recompute, never serve bad data.
+    """
+
+    def __init__(self, root: Path, max_entries_per_table: int = 8192) -> None:
+        self.root = Path(root)
+        self.max_entries_per_table = max_entries_per_table
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        self._stores: Dict[str, int] = {}
+
+    # -- paths -----------------------------------------------------------
+
+    def _path(self, table: str, key: object) -> Path:
+        digest = hashlib.sha256(_stable_key_repr(key).encode("utf-8")).hexdigest()
+        return self.root / table / f"{digest}.pkl"
+
+    # -- load / store ----------------------------------------------------
+
+    def load(self, table: str, key: object) -> Tuple[bool, object]:
+        path = self._path(table, key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (
+                isinstance(payload, dict)
+                and payload.get("format") == _DISK_FORMAT
+                and payload.get("version") == _code_version()
+                and payload.get("table") == table
+                and _stable_key_repr(payload.get("key")) == _stable_key_repr(key)
+            ):
+                self.hits += 1
+                return True, payload["value"]
+            # Stale format or digest collision: rebuild from scratch.
+            self._discard(path)
+        except FileNotFoundError:
+            pass
+        except Exception:  # corrupt/truncated/unreadable: ignore + rebuild
+            self.errors += 1
+            self._discard(path)
+        self.misses += 1
+        return False, None
+
+    def store(self, table: str, key: object, value: object) -> None:
+        path = self._path(table, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "format": _DISK_FORMAT,
+                "version": _code_version(),
+                "table": table,
+                "key": key,
+                "value": value,
+            }
+            # Not ".pkl": _prune/drop_where match that suffix and must
+            # never see (or delete) an in-flight write from another
+            # process sharing the store.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".part"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                self._discard(Path(tmp_name))
+                raise
+        except Exception:  # read-only/full/odd FS: persistence is optional
+            self.errors += 1
+            return
+        # Per-table store counter; prune on the FIRST store of each table
+        # in this process (so short-lived CLI runs still enforce the cap
+        # against what previous runs accumulated) and every 128th after.
+        count = self._stores.get(table, 0) + 1
+        self._stores[table] = count
+        if count == 1 or count % 128 == 0:
+            self._prune(path.parent)
+
+    def _prune(self, table_dir: Path) -> None:
+        """Keep each table under ``max_entries_per_table`` files (oldest
+        mtime first); called occasionally from the store path."""
+        try:
+            entries = [p for p in table_dir.iterdir() if p.suffix == ".pkl"]
+            overflow = len(entries) - self.max_entries_per_table
+            if overflow > 0:
+                entries.sort(key=lambda p: p.stat().st_mtime)
+                for path in entries[:overflow]:
+                    self._discard(path)
+        except OSError:  # pragma: no cover - directory vanished mid-scan
+            pass
+
+    # -- invalidation ----------------------------------------------------
+
+    def drop_where(self, table: str, predicate: Callable[[object], bool]) -> int:
+        """Remove entries whose *stored key* matches; returns drop count."""
+        table_dir = self.root / table
+        dropped = 0
+        try:
+            entries = list(table_dir.iterdir())
+        except OSError:
+            return 0
+        for path in entries:
+            if path.suffix != ".pkl":
+                continue
+            try:
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+                key = payload.get("key") if isinstance(payload, dict) else None
+                matches = key is not None and predicate(key)
+            except Exception:
+                matches = True  # unreadable: drop it while we are here
+            if matches:
+                self._discard(path)
+                dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        for table in ("samples", "stats", "joins"):
+            self.drop_where(table, lambda _key: True)
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - already gone / read-only FS
+            pass
+
+    # -- introspection ---------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "errors": self.errors}
+
+
 class PlanningCache:
     """Shared per-relation samples, statistics, and join-sample counts."""
 
-    def __init__(self, max_entries: int = 2048) -> None:
+    def __init__(
+        self,
+        max_entries: int = 2048,
+        disk: Optional[DiskCacheStore] = None,
+    ) -> None:
         self._samples = _LRUTable(max_entries)
         self._stats = _LRUTable(max_entries)
         self._joins = _LRUTable(max_entries)
+        #: Optional write-through disk tier consulted on in-memory misses.
+        self.disk = disk
 
     # -- per-relation samples -------------------------------------------
 
@@ -137,10 +351,17 @@ class PlanningCache:
         hit, value = self._samples.lookup(key)
         if hit:
             return value  # type: ignore[return-value]
+        if self.disk is not None:
+            hit, value = self.disk.load("samples", key)
+            if hit:
+                self._samples.store(key, value)
+                return value  # type: ignore[return-value]
         sample = relation.sample(
             sample_rows, make_rng("join-sample", relation.name, alias)
         )
         self._samples.store(key, sample)
+        if self.disk is not None:
+            self.disk.store("samples", key, sample)
         return sample
 
     # -- relation statistics --------------------------------------------
@@ -153,8 +374,15 @@ class PlanningCache:
         hit, value = self._stats.lookup(key)
         if hit:
             return value  # type: ignore[return-value]
+        if self.disk is not None:
+            hit, value = self.disk.load("stats", key)
+            if hit:
+                self._stats.store(key, value)
+                return value  # type: ignore[return-value]
         stats = compute_relation_stats(relation, sample_size=sample_size, buckets=buckets)
         self._stats.store(key, stats)
+        if self.disk is not None:
+            self.disk.store("stats", key, stats)
         return stats
 
     # -- join-sample observations ----------------------------------------
@@ -166,12 +394,22 @@ class PlanningCache:
         ``None`` (a cached work-cap overflow), which is why the hit flag
         is separate.
         """
-        return self._joins.lookup(signature)  # type: ignore[return-value]
+        hit, value = self._joins.lookup(signature)
+        if hit:
+            return True, value  # type: ignore[return-value]
+        if self.disk is not None:
+            hit, value = self.disk.load("joins", signature)
+            if hit:
+                self._joins.store(signature, value)
+                return True, value  # type: ignore[return-value]
+        return False, None
 
     def store_join_observation(
         self, signature: object, observation: JoinObservation
     ) -> None:
         self._joins.store(signature, observation)
+        if self.disk is not None:
+            self.disk.store("joins", signature, observation)
 
     # -- invalidation -----------------------------------------------------
 
@@ -193,17 +431,24 @@ class PlanningCache:
         dropped = self._samples.drop_where(touches_sample)
         dropped += self._stats.drop_where(touches_sample)
         dropped += self._joins.drop_where(touches_join)
+        if self.disk is not None:
+            dropped += self.disk.drop_where("samples", touches_sample)
+            dropped += self.disk.drop_where("stats", touches_sample)
+            dropped += self.disk.drop_where("joins", touches_join)
         return dropped
 
-    def clear(self) -> None:
+    def clear(self, disk: bool = False) -> None:
+        """Empty the in-memory tables; ``disk=True`` also wipes the store."""
         for table in (self._samples, self._stats, self._joins):
             table.clear()
+        if disk and self.disk is not None:
+            self.disk.clear()
 
     # -- introspection ----------------------------------------------------
 
     def counters(self) -> Dict[str, Dict[str, int]]:
         """Hit/miss/size counters per table, for tests and diagnostics."""
-        return {
+        counters = {
             name: {
                 "hits": table.hits,
                 "misses": table.misses,
@@ -215,11 +460,38 @@ class PlanningCache:
                 ("joins", self._joins),
             )
         }
+        if self.disk is not None:
+            counters["disk"] = self.disk.counters()
+        return counters
 
 
-_DEFAULT_CACHE = PlanningCache()
+_DEFAULT_CACHE: Optional[PlanningCache] = None
+
+
+def _disk_store_from_env() -> Optional[DiskCacheStore]:
+    from repro.mapreduce.config import execution_settings
+
+    settings = execution_settings()
+    if not settings.plan_disk_cache:
+        return None
+    return DiskCacheStore(settings.resolved_cache_dir() / "planning")
 
 
 def get_planning_cache() -> PlanningCache:
-    """The process-wide cache shared by all planners by default."""
+    """The process-wide cache shared by all planners by default.
+
+    Created lazily so ``REPRO_PLAN_DISK_CACHE`` / ``REPRO_CACHE_DIR``
+    (set by the CLI or the environment *before* the first planner runs)
+    decide whether it is disk-backed.
+    """
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = PlanningCache(disk=_disk_store_from_env())
     return _DEFAULT_CACHE
+
+
+def reset_default_planning_cache() -> None:
+    """Drop the process-wide cache so the next use rebuilds it from the
+    current environment (tests toggling the disk knobs call this)."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = None

@@ -1,0 +1,205 @@
+"""Unit tests for the execution-backend layer.
+
+Backends must return ``[fn(0), ..., fn(count-1)]`` in index order, the
+process backend's registry handshake must ship closures over
+*unpicklable* compiled state, and backend selection must follow the
+consolidated :class:`ExecutionSettings` (including the nesting guards
+that keep pool tasks from fanning out onto their own pool).
+"""
+
+import pytest
+
+from repro.mapreduce import backend as backend_mod
+from repro.mapreduce.backend import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    close_backends,
+    get_backend,
+)
+from repro.mapreduce.config import ExecutionSettings, execution_settings
+
+
+@pytest.fixture(autouse=True)
+def _clean_pools():
+    yield
+    close_backends()
+
+
+class TestSettings:
+    def test_defaults(self, monkeypatch):
+        for name in (
+            "REPRO_EXEC_BACKEND",
+            "REPRO_EXEC_WORKERS",
+            "REPRO_MAP_SHARDS",
+            "REPRO_NP_MIN_PROBE",
+            "REPRO_NP_MIN_PAIRS",
+            "REPRO_PLAN_DISK_CACHE",
+            "REPRO_CACHE_DIR",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        settings = execution_settings()
+        assert settings.backend == "serial"
+        assert settings.map_shards == 1
+        assert settings.np_min_probe == 128
+        assert settings.np_min_pairs == 256
+        assert not settings.plan_disk_cache
+        assert not settings.parallel
+
+    def test_explicit_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "process")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "3")
+        settings = execution_settings()
+        assert settings.backend == "process"
+        assert settings.effective_workers == 3
+        assert settings.parallel
+
+    def test_legacy_map_shards_selects_threads(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_EXEC_WORKERS", raising=False)
+        monkeypatch.setenv("REPRO_MAP_SHARDS", "4")
+        settings = execution_settings()
+        assert settings.backend == "thread"
+        assert settings.effective_workers == 4
+        assert settings.chunk_fanout == 4
+
+    def test_garbage_values_fall_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "quantum")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "lots")
+        monkeypatch.setenv("REPRO_MAP_SHARDS", "-3")
+        settings = execution_settings()
+        assert settings.backend == "serial"
+        assert settings.workers == 0
+        assert settings.map_shards == 1
+
+    def test_np_gates_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NP_MIN_PROBE", "9")
+        monkeypatch.setenv("REPRO_NP_MIN_PAIRS", "17")
+        settings = execution_settings()
+        assert (settings.np_min_probe, settings.np_min_pairs) == (9, 17)
+
+    def test_refresh_np_gates_updates_jobs_module(self, monkeypatch):
+        from repro.joins import jobs
+
+        monkeypatch.setenv("REPRO_NP_MIN_PROBE", "11")
+        monkeypatch.setenv("REPRO_NP_MIN_PAIRS", "13")
+        jobs.refresh_np_gates()
+        try:
+            assert (jobs._NP_MIN_PROBE, jobs._NP_MIN_PAIRS) == (11, 13)
+        finally:
+            monkeypatch.delenv("REPRO_NP_MIN_PROBE")
+            monkeypatch.delenv("REPRO_NP_MIN_PAIRS")
+            jobs.refresh_np_gates()
+        assert (jobs._NP_MIN_PROBE, jobs._NP_MIN_PAIRS) == (128, 256)
+
+
+class TestOrdering:
+    @pytest.mark.parametrize(
+        "make",
+        [SerialBackend, lambda: ThreadBackend(3), lambda: ProcessBackend(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_results_in_index_order(self, make):
+        backend = make()
+        try:
+            assert backend.run_tasks(lambda i: i * i, 13) == [
+                i * i for i in range(13)
+            ]
+        finally:
+            backend.close()
+
+    def test_process_ships_unpicklable_closures(self):
+        """The registry handshake must work for callables pickle rejects
+        (compiled join closures are exactly this shape)."""
+        import pickle
+
+        captured = {"table": [10, 20, 30, 40], "offset": 7}
+        fn = lambda i: captured["table"][i] + captured["offset"]  # noqa: E731
+        with pytest.raises(Exception):
+            pickle.dumps(fn)
+        backend = ProcessBackend(2)
+        try:
+            assert backend.run_tasks(fn, 4) == [17, 27, 37, 47]
+        finally:
+            backend.close()
+
+    def test_process_propagates_task_errors(self):
+        backend = ProcessBackend(2)
+
+        def boom(index):
+            if index == 2:
+                raise ValueError("task 2 exploded")
+            return index
+
+        try:
+            with pytest.raises(ValueError, match="task 2 exploded"):
+                backend.run_tasks(boom, 4)
+        finally:
+            backend.close()
+
+    def test_process_pool_persists_until_registry_moves(self):
+        backend = ProcessBackend(2)
+        try:
+            backend.run_tasks(lambda i: i, 3)
+            first_pool = backend._pool
+            assert first_pool is not None
+            # No registration since the last fork: the pool is reused.
+            assert backend._ensure_pool() is first_pool
+            # A new registration staled the snapshot: the pool recycles.
+            backend_mod._register_task_fn(lambda i: i)
+            assert backend._ensure_pool() is not first_pool
+        finally:
+            backend.close()
+
+    def test_single_task_runs_inline(self):
+        backend = ProcessBackend(2)
+        try:
+            side_effect = []
+            backend.run_tasks(lambda i: side_effect.append(i), 1)
+            assert side_effect == [0]  # parent-side: no fork for count<=1
+            assert backend._pool is None
+        finally:
+            backend.close()
+
+
+class TestSelectionAndNesting:
+    def test_serial_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_MAP_SHARDS", raising=False)
+        assert get_backend().name == "serial"
+
+    def test_env_selects_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "process")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "2")
+        assert get_backend().name == "process"
+
+    def test_backend_instances_are_shared(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "2")
+        assert get_backend() is get_backend()
+
+    def test_workers_one_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "process")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "1")
+        assert get_backend().name == "serial"
+
+    def test_thread_task_nesting_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "2")
+        outer = get_backend()
+        assert outer.name == "thread"
+        inner_names = outer.run_tasks(lambda i: get_backend().name, 4)
+        assert inner_names == ["serial"] * 4
+
+    def test_process_worker_nesting_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "process")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "2")
+        outer = get_backend()
+        assert outer.name == "process"
+        inner_names = outer.run_tasks(lambda i: get_backend().name, 4)
+        assert inner_names == ["serial"] * 4
+
+    def test_settings_object_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "process")
+        explicit = ExecutionSettings(backend="serial")
+        assert get_backend(explicit).name == "serial"

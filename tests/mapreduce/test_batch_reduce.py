@@ -93,9 +93,15 @@ class TestBatchedReducePhase:
         assert batched_costs == scalar_costs
         assert batched_metrics.reducer_input_bytes == scalar_metrics.reducer_input_bytes
 
-    def test_key_major_layout(self):
+    def test_key_major_layout(self, monkeypatch):
         """The runtime must flatten each bucket key-major: keys in bucket
-        insertion order, one contiguous value span per key."""
+        insertion order, one contiguous value span per key.
+
+        Observes the reducer's calls through a parent-side list, which
+        only works in-process — pin the serial backend so the test stays
+        valid under a ``REPRO_EXEC_BACKEND=process`` run of the suite.
+        """
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "serial")
         seen = []
 
         def recording_reducer(keys, values, offsets):

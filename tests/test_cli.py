@@ -3,6 +3,24 @@
 import pytest
 
 from repro.cli import build_query, cluster_config, main, make_parser
+from repro.relational.stats_cache import reset_default_planning_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cli_environment(tmp_path, monkeypatch):
+    """``main`` maps CLI flags onto ``REPRO_*`` env (and turns the disk
+    planning cache on by default); keep both effects inside the test —
+    writes go to a tmp dir and the default cache is rebuilt from the
+    restored environment afterwards."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_PLAN_DISK_CACHE", "1")
+    # Pre-touch the backend keys so monkeypatch restores them even when a
+    # test's --backend/--workers flags overwrite them inside ``main``.
+    monkeypatch.setenv("REPRO_EXEC_BACKEND", "serial")
+    monkeypatch.setenv("REPRO_EXEC_WORKERS", "0")
+    reset_default_planning_cache()
+    yield
+    reset_default_planning_cache()
 
 
 class TestParser:
@@ -86,6 +104,95 @@ class TestCommands:
 
         with pytest.raises(QueryError):
             main(["sql", "DELETE FROM table", "--workload", "mobile"])
+
+
+class TestExecutionFlags:
+    def test_backend_flag_applies_then_restores(self, capsys):
+        import os
+
+        from repro import cli
+
+        seen = {}
+
+        def spying_cmd_run(args):
+            seen["backend"] = os.environ.get("REPRO_EXEC_BACKEND")
+            seen["workers"] = os.environ.get("REPRO_EXEC_WORKERS")
+            return cli.cmd_run(args)
+
+        args = cli.make_parser().parse_args(
+            ["--backend", "process", "--workers", "2",
+             "run", "--workload", "mobile", "--query", "1", "--volume", "20"]
+        )
+        args.func = spying_cmd_run
+        restore = cli.apply_execution_flags(args)
+        try:
+            assert args.func(args) == 0
+        finally:
+            restore()
+        # The command ran under the mapped environment...
+        assert seen == {"backend": "process", "workers": "2"}
+        # ...and main-style restoration undid the mutation (the fixture
+        # pinned serial/0 before the call).
+        assert os.environ["REPRO_EXEC_BACKEND"] == "serial"
+        assert os.environ["REPRO_EXEC_WORKERS"] == "0"
+        assert "result rows" in capsys.readouterr().out
+
+    def test_workers_alone_selects_process(self, monkeypatch):
+        import os
+
+        from repro.cli import apply_execution_flags, make_parser
+
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        args = make_parser().parse_args(["--workers", "4", "run"])
+        restore = apply_execution_flags(args)
+        try:
+            assert os.environ["REPRO_EXEC_BACKEND"] == "process"
+            assert os.environ["REPRO_EXEC_WORKERS"] == "4"
+        finally:
+            restore()
+        assert "REPRO_EXEC_BACKEND" not in os.environ
+
+    def test_backend_runs_match_serial(self, capsys):
+        assert main(["run", "--workload", "mobile", "--query", "1",
+                     "--volume", "20"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["--backend", "process", "--workers", "2",
+                     "run", "--workload", "mobile", "--query", "1",
+                     "--volume", "20"]) == 0
+        process_out = capsys.readouterr().out
+        assert process_out == serial_out
+
+    def test_disk_cache_written_to_cache_dir(self, tmp_path):
+        target = tmp_path / "explicit-cache"
+        assert main(["--cache-dir", str(target),
+                     "plan", "--workload", "mobile", "--query", "1",
+                     "--volume", "20"]) == 0
+        assert list(target.glob("planning/*/*.pkl"))
+
+    def test_no_disk_cache_flag(self, tmp_path, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_PLAN_DISK_CACHE", raising=False)
+        target = tmp_path / "never-written"
+        assert main(["--no-disk-cache", "--cache-dir", str(target),
+                     "plan", "--workload", "mobile", "--query", "1",
+                     "--volume", "20"]) == 0
+        assert not target.exists()
+        # main() restored the pre-call environment (variable was absent).
+        assert "REPRO_PLAN_DISK_CACHE" not in os.environ
+
+    def test_main_restores_library_defaults(self, monkeypatch):
+        """A library caller invoking main() must not inherit CLI env
+        defaults afterwards — the default planning cache stays opt-in."""
+        import os
+
+        from repro.relational.stats_cache import get_planning_cache
+
+        monkeypatch.delenv("REPRO_PLAN_DISK_CACHE", raising=False)
+        assert main(["plan", "--workload", "mobile", "--query", "1",
+                     "--volume", "20"]) == 0
+        assert "REPRO_PLAN_DISK_CACHE" not in os.environ
+        assert get_planning_cache().disk is None
 
 
 class TestWorkloadRelations:
