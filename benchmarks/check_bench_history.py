@@ -30,6 +30,10 @@ METRIC_THRESHOLDS = {
     "map_phase_process_s": 1.0,
     "reduce_phase_process_s": 1.0,
     "warm_disk_plan_s": 1.0,
+    # The distributed benches measure daemon spawn + TCP + closure
+    # shipping on localhost — scheduler-noise-dominated on shared runners.
+    "map_phase_distributed_s": 1.5,
+    "reduce_phase_distributed_s": 1.5,
 }
 
 

@@ -1,5 +1,6 @@
 """Hot-path benchmark runner: times the codec, partitioner, kR sweep, the
-batched map phase, a warm-statistics-cache plan, and one end-to-end
+batched map/reduce phases (inline, process-pool, and distributed-daemon
+dispatched), a warm-statistics-cache plan, and one end-to-end
 fig-10-style plan+execute run, and writes the numbers to
 ``BENCH_hotpaths.json`` at the repository root.
 
@@ -227,6 +228,85 @@ def bench_reduce_phase_process() -> float:
     return _with_backend_env("process", _process_workers(), lambda: _time(run))
 
 
+def _spawned_workers(count: int = 2):
+    """Spawn ``count`` worker daemons via the shared helper; returns
+    ``(procs, addrs)`` or ``None`` on a pre-PR checkout / spawn failure."""
+    try:
+        from repro.mapreduce.worker import spawn_daemon
+    except ImportError:  # pre-PR checkout: no distributed backend
+        return None
+    procs = []
+    addrs = []
+    try:
+        for _ in range(count):
+            proc, addr = spawn_daemon()
+            procs.append(proc)
+            addrs.append(addr)
+        return procs, addrs
+    except Exception:
+        for proc in procs:
+            proc.kill()
+        return None
+
+
+def _stop_workers(procs) -> None:
+    from repro.mapreduce.worker import stop_daemons
+
+    stop_daemons(procs)
+
+
+def _bench_phase_distributed(phase: str):
+    """Map or reduce phase dispatched to 2 localhost worker daemons.
+
+    Records the TCP + closure-shipping overhead honestly on one box
+    (workers on separate hosts are where the win lives); returns ``None``
+    on pre-PR checkouts so the metric only exists where it is measured.
+    """
+    import os
+
+    try:
+        from repro.mapreduce.wire import closure_transport_available
+    except ImportError:  # pre-PR checkout: no distributed backend
+        return None
+    if not closure_transport_available():
+        return None
+    spawned = _spawned_workers(2)
+    if spawned is None:
+        return None
+    procs, addrs = spawned
+
+    from repro.mapreduce.counters import JobMetrics
+
+    cluster, spec = _hypercube_spec()
+    if phase == "map":
+        def run():
+            cluster._run_map_phase(spec, JobMetrics(job_name=spec.name))
+    else:
+        buckets, _ = cluster._run_map_phase(spec, JobMetrics(job_name=spec.name))
+
+        def run():
+            cluster._run_reduce_phase(spec, buckets, JobMetrics(job_name=spec.name))
+
+    saved = os.environ.get("REPRO_WORKERS_ADDRS")
+    os.environ["REPRO_WORKERS_ADDRS"] = ",".join(addrs)
+    try:
+        return _with_backend_env("distributed", len(addrs), lambda: _time(run))
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_WORKERS_ADDRS", None)
+        else:
+            os.environ["REPRO_WORKERS_ADDRS"] = saved
+        _stop_workers(procs)
+
+
+def bench_map_phase_distributed():
+    return _bench_phase_distributed("map")
+
+
+def bench_reduce_phase_distributed():
+    return _bench_phase_distributed("reduce")
+
+
 def bench_warm_disk_plan():
     """Planning against a *disk*-warm cache in a fresh cache instance —
     the cross-process steady state of repeated CLI runs (PR 4).
@@ -311,6 +391,8 @@ def main() -> None:
         "reduce_phase_batch_s": bench_reduce_phase_batch(),
         "map_phase_process_s": bench_map_phase_process(),
         "reduce_phase_process_s": bench_reduce_phase_process(),
+        "map_phase_distributed_s": bench_map_phase_distributed(),
+        "reduce_phase_distributed_s": bench_reduce_phase_distributed(),
         "stats_cache_warm_plan_s": bench_stats_cache_warm_plan(),
         "warm_disk_plan_s": bench_warm_disk_plan(),
         "end_to_end_fig10_q2_20gb_s": bench_end_to_end(),

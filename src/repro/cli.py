@@ -7,6 +7,8 @@
     python -m repro.cli sql --workload mobile --volume 20 \\
         "SELECT t2.id FROM table t1, table t2 WHERE t1.d = t2.d AND t1.bt <= t2.bt"
     python -m repro.cli calibrate
+    python -m repro.cli worker serve --host 127.0.0.1 --port 7601
+    python -m repro.cli cache stats
 
 ``run`` executes one query with one system; ``compare`` runs all four
 systems and prints the comparison row the figures are made of; ``plan``
@@ -14,7 +16,10 @@ shows the chosen execution plan without running it; ``explain`` dumps the
 planner internals (GJ, Eulerian structure, G'JP candidates); ``sql``
 plans and executes an ad-hoc query in the paper's SQL-like dialect over a
 workload's base relations; ``calibrate`` fits the cost-model constants
-from probe jobs (Section 6.2).
+from probe jobs (Section 6.2); ``worker serve`` runs one distributed
+execution daemon (point coordinators at it with ``--workers-addrs`` or
+``REPRO_WORKERS_ADDRS``); ``cache`` inspects or wipes the disk-persistent
+planning cache.
 """
 
 from __future__ import annotations
@@ -33,7 +38,9 @@ from repro.mapreduce.config import (
     EXEC_BACKENDS,
     EXEC_WORKERS_ENV,
     PLAN_DISK_CACHE_ENV,
+    WORKERS_ADDRS_ENV,
     ClusterConfig,
+    execution_settings,
 )
 from repro.mapreduce.runtime import SimulatedCluster
 from repro.relational.query import JoinQuery
@@ -223,6 +230,50 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_worker_serve(args: argparse.Namespace) -> int:
+    from repro.mapreduce.worker import FaultSpec, serve
+
+    fault = None
+    if args.fail_after_tasks:
+        fault = FaultSpec(mode=args.fail_mode, after_tasks=args.fail_after_tasks)
+    return serve(args.host, args.port, fault=fault)
+
+
+def _planning_disk_store():
+    """The on-disk planning store at the environment's cache location.
+
+    Built directly (not via the default :class:`PlanningCache`) so the
+    cache subcommands work whether or not ``REPRO_PLAN_DISK_CACHE`` is
+    on; constructing the store never creates directories.
+    """
+    from repro.relational.stats_cache import DiskCacheStore
+
+    root = execution_settings().resolved_cache_dir() / "planning"
+    return DiskCacheStore(root)
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    store = _planning_disk_store()
+    print(f"planning cache at {store.root}")
+    total_files = 0
+    total_bytes = 0
+    for table, (files, size) in store.table_sizes().items():
+        total_files += files
+        total_bytes += size
+        print(f"  {table:8s} {files:6d} entr{'y' if files == 1 else 'ies'}  "
+              f"{format_bytes(size)}")
+    print(f"  {'total':8s} {total_files:6d} entries  {format_bytes(total_bytes)}")
+    return 0
+
+
+def cmd_cache_clear(args: argparse.Namespace) -> int:
+    store = _planning_disk_store()
+    removed = store.clear()
+    print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
+          f"from {store.root}")
+    return 0
+
+
 def apply_execution_flags(args: argparse.Namespace) -> Callable[[], None]:
     """Map the CLI's execution flags onto the ``REPRO_*`` environment.
 
@@ -243,12 +294,18 @@ def apply_execution_flags(args: argparse.Namespace) -> Callable[[], None]:
         for name in (
             EXEC_BACKEND_ENV,
             EXEC_WORKERS_ENV,
+            WORKERS_ADDRS_ENV,
             PLAN_DISK_CACHE_ENV,
             CACHE_DIR_ENV,
         )
     }
     backend = getattr(args, "backend", None)
     workers = getattr(args, "workers", 0)
+    workers_addrs = getattr(args, "workers_addrs", None)
+    if not backend and workers_addrs and EXEC_BACKEND_ENV not in os.environ:
+        # --workers-addrs alone states distributed intent (mirrors the
+        # env-side rule: REPRO_WORKERS_ADDRS implies distributed).
+        backend = "distributed"
     if not backend and workers and EXEC_BACKEND_ENV not in os.environ:
         # --workers alone states parallel intent; process is the backend
         # that actually uses the cores (documented in --workers help).
@@ -257,6 +314,8 @@ def apply_execution_flags(args: argparse.Namespace) -> Callable[[], None]:
         os.environ[EXEC_BACKEND_ENV] = backend
     if workers:
         os.environ[EXEC_WORKERS_ENV] = str(workers)
+    if workers_addrs:
+        os.environ[WORKERS_ADDRS_ENV] = workers_addrs
     if getattr(args, "no_disk_cache", False):
         os.environ[PLAN_DISK_CACHE_ENV] = "0"
     elif PLAN_DISK_CACHE_ENV not in os.environ:
@@ -301,6 +360,14 @@ def make_parser() -> argparse.ArgumentParser:
         default=0,
         help="worker count for the thread/process backends (0 = auto); "
         "given without --backend it selects the process backend",
+    )
+    parser.add_argument(
+        "--workers-addrs",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="comma-separated 'repro worker serve' daemons for the "
+        "distributed backend; given without --backend it selects the "
+        "distributed backend (same as REPRO_WORKERS_ADDRS)",
     )
     parser.add_argument(
         "--no-disk-cache",
@@ -359,6 +426,42 @@ def make_parser() -> argparse.ArgumentParser:
     calibrate = sub.add_parser("calibrate", help="fit cost-model constants")
     calibrate.add_argument("--noise", type=float, default=0.05)
     calibrate.set_defaults(func=cmd_calibrate)
+
+    worker = sub.add_parser(
+        "worker", help="distributed execution worker daemon"
+    )
+    worker_sub = worker.add_subparsers(dest="worker_command", required=True)
+    serve = worker_sub.add_parser(
+        "serve", help="run one worker daemon until interrupted"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7601,
+        help="TCP port (0 = OS-assigned; the daemon prints the address)",
+    )
+    serve.add_argument(
+        "--fail-after-tasks", type=int, default=0, metavar="N",
+        help="TEST ONLY: inject a fault when the N-th task starts",
+    )
+    serve.add_argument(
+        "--fail-mode", choices=("kill", "stall"), default="kill",
+        help="TEST ONLY: fault kind — kill (process exit) or stall "
+        "(stop answering everything, heartbeats included)",
+    )
+    serve.set_defaults(func=cmd_worker_serve)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or wipe the disk-persistent planning cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="per-table entry counts and sizes"
+    )
+    cache_stats.set_defaults(func=cmd_cache_stats)
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete every cached planning entry"
+    )
+    cache_clear.set_defaults(func=cmd_cache_clear)
     return parser
 
 

@@ -311,9 +311,12 @@ class PlanExecutor:
         concurrently on the execution backend.  Specs are materialized
         parent-side in wave order (partitioner/composite caches stay
         warm and single-threaded); only the pure ``run_job`` calls are
-        dispatched.  Results are folded back strictly in wave order, so
-        ``report.job_metrics``, HDFS contents, and every downstream
-        decision are identical to the serial loop.
+        dispatched — to threads, forked workers, or remote worker
+        daemons alike (the distributed coordinator falls back to the
+        in-line loop when no daemon answers).  Results are folded back
+        strictly in wave order, so ``report.job_metrics``, HDFS
+        contents, and every downstream decision are identical to the
+        serial loop.
         """
         backend = get_backend()
         if len(jobs) <= 1 or backend.name == "serial":
@@ -358,8 +361,9 @@ class PlanExecutor:
                 )
                 continue
             result = next(results)
-            # The job ran against a (possibly forked) copy of the cluster;
-            # publish its output in the parent's namespace.
+            # The job ran against a forked (process backend) or shipped
+            # (distributed backend) copy of the cluster; publish its
+            # output in the parent's namespace.
             self.cluster.hdfs.put(result.output)
             result.metrics.total_time_s += job.extra_startup_s
             result.metrics.startup_time_s += job.extra_startup_s

@@ -12,7 +12,12 @@ actually run:
   (the GIL throttles pure-Python mappers, but the NumPy probe/pair paths
   release it);
 * ``process`` — a fork-context :mod:`multiprocessing` pool for true
-  multi-core execution of the pure-Python fallback paths.
+  multi-core execution of the pure-Python fallback paths;
+* ``distributed`` — TCP dispatch to long-lived ``repro worker serve``
+  daemons (:class:`DistributedBackend`), which is what finally takes the
+  task lists past one machine: heartbeat liveness, per-task retry on
+  worker loss, and ordered exactly-once result folding keep outputs
+  bit-identical to serial even while workers die mid-phase.
 
 Every backend exposes the same contract — ``run_tasks(fn, count)``
 returns ``[fn(0), fn(1), ..., fn(count - 1)]`` **in index order** — so
@@ -47,6 +52,7 @@ from __future__ import annotations
 import atexit
 import sys
 import threading
+from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.mapreduce.config import ExecutionSettings, execution_settings
@@ -216,10 +222,376 @@ class ProcessBackend:
             self._fallback = None
 
 
+class _WorkerLost(Exception):
+    """Internal: a worker daemon vanished mid-conversation (retryable)."""
+
+
+class _RemoteTaskError(Exception):
+    """Internal: the task itself raised on the worker (NOT retryable)."""
+
+    def __init__(self, original: BaseException) -> None:
+        super().__init__(str(original))
+        self.original = original
+
+
+class _WorkerHandle:
+    """Coordinator-side state for one worker daemon.
+
+    Two TCP connections per worker: a *task* connection carrying the
+    register/task/unregister conversation, and a *heartbeat* connection
+    on which a daemon thread pings every ``heartbeat_s`` seconds.  A
+    missed heartbeat (or any socket error) marks the worker dead and
+    shuts both sockets down, which wakes a dispatcher blocked in
+    ``recv`` — so a frozen host is detected even while a task is
+    nominally "running" on it, without imposing any per-task timeout on
+    legitimately slow tasks.
+    """
+
+    def __init__(self, addr: str, heartbeat_s: float, connect_timeout_s: float):
+        self.addr = addr
+        self.heartbeat_s = heartbeat_s
+        self.connect_timeout_s = connect_timeout_s
+        self.dead = threading.Event()
+        self._task_sock = None
+        self._heartbeat_sock = None
+        self._io_lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def connect(self) -> bool:
+        """Dial both connections + hello handshake; False on any failure."""
+        from repro.mapreduce import wire
+
+        try:
+            self._task_sock = wire.connect(self.addr, self.connect_timeout_s)
+            wire.send_frame(self._task_sock, ("hello", wire.peer_info()))
+            kind, info = wire.recv_frame(self._task_sock)
+            if kind != "hello-ack" or not wire.compatible(info):
+                self.mark_dead()
+                return False
+            self._task_sock.settimeout(None)
+            self._heartbeat_sock = wire.connect(self.addr, self.connect_timeout_s)
+            threading.Thread(
+                target=self._heartbeat_loop,
+                daemon=True,
+                name=f"repro-heartbeat-{self.addr}",
+            ).start()
+            return True
+        except (OSError, ValueError, ConnectionError):
+            self.mark_dead()
+            return False
+
+    def mark_dead(self) -> None:
+        """Flag the worker lost and shut both sockets (wakes blocked I/O)."""
+        self.dead.set()
+        for sock in (self._task_sock, self._heartbeat_sock):
+            if sock is None:
+                continue
+            try:
+                sock.shutdown(2)  # SHUT_RDWR
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._task_sock = None
+        self._heartbeat_sock = None
+
+    @property
+    def alive(self) -> bool:
+        return self._task_sock is not None and not self.dead.is_set()
+
+    # -- heartbeat ------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        from repro.mapreduce import wire
+
+        sock = self._heartbeat_sock
+        if sock is None:  # pragma: no cover - lost before the thread ran
+            return
+        sequence = 0
+        sock.settimeout(max(self.heartbeat_s * 2, 0.2))
+        while not self.dead.is_set():
+            sequence += 1
+            try:
+                wire.send_frame(sock, ("ping", sequence))
+                reply = wire.recv_frame(sock)
+                if reply != ("pong", sequence):
+                    raise ConnectionError("bad pong")
+            except (OSError, ConnectionError):
+                self.mark_dead()
+                return
+            self.dead.wait(self.heartbeat_s)
+
+    # -- conversation (single dispatcher thread per handle) -------------
+
+    def _roundtrip(self, message: Tuple) -> Tuple:
+        from repro.mapreduce import wire
+
+        with self._io_lock:
+            sock = self._task_sock
+            if sock is None or self.dead.is_set():
+                raise _WorkerLost(self.addr)
+            try:
+                wire.send_frame(sock, message)
+                reply = wire.recv_frame(sock)
+            except (OSError, ConnectionError) as exc:
+                self.mark_dead()
+                raise _WorkerLost(self.addr) from exc
+        if not isinstance(reply, tuple) or not reply:
+            self.mark_dead()
+            raise _WorkerLost(self.addr)
+        return reply
+
+    def register(self, token: int, blob: bytes) -> None:
+        reply = self._roundtrip(("register", token, blob))
+        if reply[0] != "registered":
+            # The worker could not rebuild the closure (e.g. missing
+            # module); treat it like a lost worker so others / the local
+            # fallback pick the tasks up.
+            self.mark_dead()
+            raise _WorkerLost(f"{self.addr}: {reply!r}")
+
+    def run_task(self, token: int, index: int) -> object:
+        reply = self._roundtrip(("task", token, index))
+        if len(reply) == 3 and reply[0] == "result" and reply[1] == index:
+            return reply[2]
+        if len(reply) == 3 and reply[0] == "task-error":
+            raise _RemoteTaskError(reply[2])
+        # Wrong kind, wrong arity, wrong index: a corrupt or skewed peer.
+        self.mark_dead()
+        raise _WorkerLost(f"{self.addr}: unexpected reply {reply[:1]!r}")
+
+    def unregister(self, token: int) -> None:
+        try:
+            self._roundtrip(("unregister", token))
+        except _WorkerLost:
+            pass  # best-effort: the connection's registry dies with it
+
+
+class DistributedBackend:
+    """Multi-host coordinator: ships tasks to ``repro worker serve``
+    daemons over TCP with heartbeat liveness and per-task retry.
+
+    The fork registry's handshake is mirrored remotely: ``run_tasks``
+    serializes the task closure *once* (cloudpickle, by value), registers
+    it on every live worker under a coordinator-issued token, and then
+    each task payload on the wire is just ``(token, index)``.  One
+    dispatcher thread per worker pulls indices from a shared queue; a
+    worker loss (connection reset, missed heartbeat) re-queues its
+    in-flight index for the surviving workers, and any index still
+    unresolved when every worker is gone (or past its retry budget) runs
+    locally in the coordinator.  Results fold into a per-index slot
+    exactly once, first completion wins, and the returned list is built
+    in index order — so outputs are bit-identical to the serial loop no
+    matter which worker ran what, or died when.
+
+    Degradation is always to correctness: no reachable workers, an
+    unshippable closure, or a missing cloudpickle simply run the batch
+    in-line (with a one-time note), never fail it.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        addrs: Tuple[str, ...],
+        heartbeat_s: float = 2.0,
+        task_retries: int = 2,
+        connect_timeout_s: float = 1.0,
+    ) -> None:
+        self.addrs = tuple(addrs)
+        self.heartbeat_s = heartbeat_s
+        self.task_retries = max(0, task_retries)
+        self.connect_timeout_s = connect_timeout_s
+        self._handles: Dict[str, _WorkerHandle] = {}
+        #: addr -> (next batch number allowed to redial, consecutive
+        #: failures); exponential backoff so a down host costs a connect
+        #: attempt only occasionally, while a *restarted* daemon on the
+        #: same address rejoins the pool within a few batches.
+        self._redial: Dict[str, Tuple[int, int]] = {}
+        self._batches = 0
+        self._noted_degraded = False
+        self._next_token = 0
+        self._lock = threading.Lock()
+
+    # -- worker pool ----------------------------------------------------
+
+    def _live_handles(self) -> List[_WorkerHandle]:
+        """Connected handles; dials (and re-dials) the rest with backoff.
+
+        A dead handle is discarded and its address becomes eligible for
+        reconnection after a failure-count-doubling number of batches —
+        so a worker daemon restarted on the same host:port rejoins a
+        long-lived coordinator instead of being blacklisted forever,
+        while a genuinely down host is only probed occasionally.
+        """
+        live = []
+        for addr in self.addrs:
+            handle = self._handles.get(addr)
+            if handle is not None and handle.alive:
+                live.append(handle)
+                continue
+            if handle is not None:  # died since we dialed it
+                self._handles.pop(addr, None)
+            next_allowed, failures = self._redial.get(addr, (0, 0))
+            if self._batches < next_allowed:
+                continue
+            handle = _WorkerHandle(addr, self.heartbeat_s, self.connect_timeout_s)
+            if handle.connect():
+                self._handles[addr] = handle
+                self._redial.pop(addr, None)
+                live.append(handle)
+            else:
+                self._redial[addr] = (
+                    self._batches + 2 ** min(failures, 6),
+                    failures + 1,
+                )
+        return live
+
+    def _note_degraded(self, reason: str) -> None:
+        if not self._noted_degraded:
+            self._noted_degraded = True
+            print(
+                f"repro: distributed backend degraded to serial ({reason})",
+                file=sys.stderr,
+            )
+
+    # -- execution ------------------------------------------------------
+
+    def run_tasks(self, fn: TaskFn, count: int) -> List[object]:
+        if count <= 1:
+            return [fn(index) for index in range(count)]
+        from repro.mapreduce import wire
+
+        self._batches += 1
+        handles = self._live_handles()
+        if not handles:
+            self._note_degraded("no worker daemons answered")
+            return [fn(index) for index in range(count)]
+        if not wire.closure_transport_available():
+            self._note_degraded("cloudpickle unavailable")
+            return [fn(index) for index in range(count)]
+        try:
+            blob = wire.dumps_task_fn(fn)
+        except Exception as exc:  # unshippable capture: run locally
+            self._note_degraded(f"task closure not serializable: {exc}")
+            return [fn(index) for index in range(count)]
+        return self._dispatch(fn, blob, count, handles)
+
+    def _dispatch(
+        self,
+        fn: TaskFn,
+        blob: bytes,
+        count: int,
+        handles: List[_WorkerHandle],
+    ) -> List[object]:
+        with self._lock:
+            self._next_token += 1
+            token = self._next_token
+
+        pending = deque(range(count))
+        results: Dict[int, object] = {}
+        attempts = [0] * count
+        failure: List[Optional[BaseException]] = [None]
+        in_flight = [0]
+        cond = threading.Condition()
+
+        def pull_tasks(handle: _WorkerHandle) -> None:
+            while True:
+                with cond:
+                    # An idle dispatcher must not exit while a peer still
+                    # holds an index in flight: if that peer's worker dies
+                    # its index is re-queued, and this survivor is the one
+                    # meant to retry it.
+                    while failure[0] is None and not pending and in_flight[0] > 0:
+                        cond.wait(0.05)
+                    if failure[0] is not None or not pending:
+                        return
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    in_flight[0] += 1
+                try:
+                    value = handle.run_task(token, index)
+                except _RemoteTaskError as exc:
+                    with cond:
+                        failure[0] = exc.original
+                        in_flight[0] -= 1
+                        cond.notify_all()
+                    return
+                except BaseException:
+                    # _WorkerLost — or anything unforeseen in the
+                    # conversation: either way this dispatcher is done
+                    # and MUST balance in_flight, or idle peers would
+                    # wait on it forever.
+                    handle.mark_dead()
+                    with cond:
+                        in_flight[0] -= 1
+                        # Retry on the survivors while budget remains;
+                        # otherwise the local fallback below covers it.
+                        if index not in results and attempts[index] <= self.task_retries:
+                            pending.append(index)
+                        cond.notify_all()
+                    return
+                with cond:
+                    # Exactly-once folding: the first completion of an
+                    # index wins; a zombie's late duplicate is dropped.
+                    results.setdefault(index, value)
+                    in_flight[0] -= 1
+                    cond.notify_all()
+
+        def dispatcher(handle: _WorkerHandle) -> None:
+            try:
+                handle.register(token, blob)
+            except _WorkerLost:
+                return
+            try:
+                pull_tasks(handle)
+            finally:
+                # Free the shipped closure on every exit path — a task
+                # error must not leak the registration (unregister of a
+                # lost worker is a no-op).
+                handle.unregister(token)
+
+        threads = [
+            threading.Thread(
+                target=dispatcher,
+                args=(handle,),
+                daemon=True,
+                name=f"repro-dispatch-{handle.addr}",
+            )
+            for handle in handles
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if failure[0] is not None:
+            raise failure[0]
+        # Anything unresolved (all workers lost, retry budget exhausted)
+        # runs locally — each missing index exactly once, in index order.
+        missing = [index for index in range(count) if index not in results]
+        if missing:
+            self._note_degraded(
+                f"{len(missing)} task(s) fell back to local execution"
+            )
+            for index in missing:
+                results[index] = fn(index)
+        return [results[index] for index in range(count)]
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            handle.mark_dead()
+        self._handles.clear()
+        self._redial.clear()
+
+
 # -- backend selection ---------------------------------------------------
 
 _SERIAL = SerialBackend()
-_BACKENDS: Dict[Tuple[str, int], object] = {}
+_BACKENDS: Dict[Tuple, object] = {}
 
 
 def get_backend(settings: Optional[ExecutionSettings] = None):
@@ -236,11 +608,22 @@ def get_backend(settings: Optional[ExecutionSettings] = None):
         settings = execution_settings()
     if not settings.parallel:
         return _SERIAL
-    key = (settings.backend, settings.effective_workers)
+    key: Tuple = (settings.backend, settings.effective_workers)
+    if settings.backend == "distributed":
+        key = key + (settings.workers_addrs,)
     backend = _BACKENDS.get(key)
     if backend is None:
-        cls = ThreadBackend if settings.backend == "thread" else ProcessBackend
-        backend = cls(settings.effective_workers)
+        if settings.backend == "distributed":
+            backend = DistributedBackend(
+                settings.workers_addrs,
+                heartbeat_s=settings.worker_heartbeat_s,
+                task_retries=settings.task_retries,
+                connect_timeout_s=settings.worker_connect_timeout_s,
+            )
+        elif settings.backend == "thread":
+            backend = ThreadBackend(settings.effective_workers)
+        else:
+            backend = ProcessBackend(settings.effective_workers)
         _BACKENDS[key] = backend
     return backend
 

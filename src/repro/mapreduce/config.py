@@ -17,7 +17,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.utils import MB
 
@@ -121,10 +121,25 @@ PAPER_CLUSTER_KP64 = PAPER_CLUSTER.with_units(64)
 
 #: Which executor runs independent map chunks / reduce buckets / ready
 #: jobs: ``serial`` (in-line), ``thread`` (GIL-shared pool, helps the
-#: NumPy paths), or ``process`` (fork-based pool, true multi-core).
+#: NumPy paths), ``process`` (fork-based pool, true multi-core), or
+#: ``distributed`` (TCP dispatch to ``repro worker serve`` daemons).
 EXEC_BACKEND_ENV = "REPRO_EXEC_BACKEND"
 #: Worker count for the thread/process backends; 0 = auto (cpu count).
 EXEC_WORKERS_ENV = "REPRO_EXEC_WORKERS"
+#: Comma-separated ``host:port`` list of worker daemons for the
+#: distributed backend.  Malformed entries are skipped; with no valid
+#: entries the backend degrades to serial.  Setting this without a
+#: backend choice selects the distributed backend.
+WORKERS_ADDRS_ENV = "REPRO_WORKERS_ADDRS"
+#: Seconds between liveness pings to each worker daemon; a worker that
+#: misses one heartbeat window is declared lost and its in-flight task
+#: is retried elsewhere.
+WORKER_HEARTBEAT_ENV = "REPRO_WORKER_HEARTBEAT_S"
+#: How many times one task may be re-queued after worker losses before
+#: the coordinator stops trying workers and runs it locally.
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+#: Seconds allowed for the TCP connect + hello handshake per worker.
+WORKER_CONNECT_TIMEOUT_ENV = "REPRO_WORKER_CONNECT_TIMEOUT_S"
 #: Legacy knob from PR 2: chunk fan-out + thread count for the batched
 #: map phase.  Still honoured: setting it (>1) without a backend choice
 #: selects the thread backend with that many workers.
@@ -141,7 +156,7 @@ PLAN_DISK_CACHE_ENV = "REPRO_PLAN_DISK_CACHE"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Valid values for ``REPRO_EXEC_BACKEND``.
-EXEC_BACKENDS = ("serial", "thread", "process")
+EXEC_BACKENDS = ("serial", "thread", "process", "distributed")
 
 
 def _env_int(name: str, default: int, minimum: int = 0) -> int:
@@ -149,6 +164,35 @@ def _env_int(name: str, default: int, minimum: int = 0) -> int:
         return max(minimum, int(os.environ.get(name, str(default))))
     except ValueError:
         return default
+
+
+def _env_float(name: str, default: float, minimum: float = 0.0) -> float:
+    try:
+        return max(minimum, float(os.environ.get(name, str(default))))
+    except ValueError:
+        return default
+
+
+def parse_workers_addrs(raw: str) -> Tuple[str, ...]:
+    """Normalize a ``host:port,host:port`` list; malformed entries drop.
+
+    An env typo must never crash planning: invalid entries (missing or
+    out-of-range port, empty host) are skipped, duplicates collapse to
+    their first occurrence, and an all-invalid value parses to the empty
+    tuple — which simply leaves the distributed backend degraded to
+    serial.
+    """
+    from repro.mapreduce.wire import parse_addr
+
+    seen = []
+    for entry in raw.replace(";", ",").split(","):
+        parsed = parse_addr(entry)
+        if parsed is None:
+            continue
+        normalized = f"{parsed[0]}:{parsed[1]}"
+        if normalized not in seen:
+            seen.append(normalized)
+    return tuple(seen)
 
 
 @dataclass(frozen=True)
@@ -161,10 +205,18 @@ class ExecutionSettings:
     sit on a hot path).
     """
 
-    #: ``serial`` | ``thread`` | ``process`` — how independent tasks run.
+    #: ``serial`` | ``thread`` | ``process`` | ``distributed``.
     backend: str = "serial"
     #: Worker count for parallel backends; 0 means "auto" (cpu count).
     workers: int = 0
+    #: Normalized ``host:port`` worker daemons (distributed backend).
+    workers_addrs: Tuple[str, ...] = ()
+    #: Liveness ping period, seconds (distributed backend).
+    worker_heartbeat_s: float = 2.0
+    #: Re-queue budget per task after worker losses (distributed backend).
+    task_retries: int = 2
+    #: TCP connect + hello handshake budget per worker, seconds.
+    worker_connect_timeout_s: float = 1.0
     #: Chunk fan-out for the batched map phase (legacy ``REPRO_MAP_SHARDS``).
     map_shards: int = 1
     #: NumPy probe gate (``_NP_MIN_PROBE`` before consolidation).
@@ -180,13 +232,26 @@ class ExecutionSettings:
     def from_env(cls) -> "ExecutionSettings":
         backend = os.environ.get(EXEC_BACKEND_ENV, "").strip().lower()
         map_shards = _env_int(MAP_SHARDS_ENV, 1, minimum=1)
+        workers_addrs = parse_workers_addrs(os.environ.get(WORKERS_ADDRS_ENV, ""))
         if backend not in EXEC_BACKENDS:
-            # Unset/invalid: legacy REPRO_MAP_SHARDS>1 implies threads
-            # (PR 2 semantics); otherwise everything stays serial.
-            backend = "thread" if map_shards > 1 else "serial"
+            # Unset/invalid: configured worker daemons imply distributed,
+            # else legacy REPRO_MAP_SHARDS>1 implies threads (PR 2
+            # semantics); otherwise everything stays serial.
+            if workers_addrs:
+                backend = "distributed"
+            elif map_shards > 1:
+                backend = "thread"
+            else:
+                backend = "serial"
         return cls(
             backend=backend,
             workers=_env_int(EXEC_WORKERS_ENV, 0),
+            workers_addrs=workers_addrs,
+            worker_heartbeat_s=_env_float(WORKER_HEARTBEAT_ENV, 2.0, minimum=0.05),
+            task_retries=_env_int(TASK_RETRIES_ENV, 2),
+            worker_connect_timeout_s=_env_float(
+                WORKER_CONNECT_TIMEOUT_ENV, 1.0, minimum=0.05
+            ),
             map_shards=map_shards,
             np_min_probe=_env_int(NP_MIN_PROBE_ENV, 128),
             np_min_pairs=_env_int(NP_MIN_PAIRS_ENV, 256),
@@ -196,7 +261,10 @@ class ExecutionSettings:
 
     @property
     def effective_workers(self) -> int:
-        """Actual pool size: explicit count, legacy shards, or cpu count."""
+        """Actual pool size: daemon count (distributed), explicit count,
+        legacy shards, or cpu count."""
+        if self.backend == "distributed":
+            return max(1, len(self.workers_addrs))
         if self.workers > 0:
             return self.workers
         if self.map_shards > 1:
@@ -205,6 +273,10 @@ class ExecutionSettings:
 
     @property
     def parallel(self) -> bool:
+        if self.backend == "distributed":
+            # Even one remote daemon is worth dispatching to (it offloads
+            # the coordinator); zero valid daemons means serial.
+            return len(self.workers_addrs) > 0
         return self.backend != "serial" and self.effective_workers > 1
 
     @property

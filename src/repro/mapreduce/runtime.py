@@ -173,7 +173,10 @@ class SimulatedCluster:
         order, metrics, and answers — are identical to the scalar loop.
         Chunks are independent, which is what lets them shard across the
         selected execution backend (``REPRO_EXEC_BACKEND`` /
-        ``REPRO_MAP_SHARDS``) without changing any output.
+        ``REPRO_MAP_SHARDS``) without changing any output — including
+        over TCP to remote worker daemons (``REPRO_WORKERS_ADDRS``),
+        whose chunk batches come back pickle-round-tripped but are
+        merged by the very same in-order loop.
         """
         settings = execution_settings()
         fanout = settings.chunk_fanout
@@ -290,7 +293,10 @@ class SimulatedCluster:
         bucket and shares nothing), so whole buckets are dispatched
         through the execution backend and the per-bucket results merged
         in bucket order — counters, costs, and outputs are bit-identical
-        across serial, thread, and process backends.
+        across the serial, thread, process, and distributed backends
+        (the distributed coordinator additionally promises ordered
+        exactly-once folding under worker loss, and degrades to this
+        same serial arithmetic when no worker daemons answer).
         """
         batch_reducer = spec.batch_reducer
         assert batch_reducer is not None

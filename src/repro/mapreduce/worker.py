@@ -1,0 +1,348 @@
+"""The distributed backend's worker daemon.
+
+``repro worker serve --host 127.0.0.1 --port 7601`` runs one of these:
+a long-lived TCP server that accepts coordinator connections and speaks
+the :mod:`repro.mapreduce.wire` protocol.  Each connection gets its own
+handler thread and its own registration namespace (register / task /
+unregister), so several coordinators can share one daemon and a dropped
+connection frees everything it registered — the remote counterpart of
+the fork registry's copy-on-write lifetime.
+
+Inside a task the worker behaves exactly like a forked pool worker:
+``repro.mapreduce.backend`` is flagged so nested ``get_backend()`` calls
+return the serial backend (a remote task must never fan out onto another
+pool), and task callables rebuilt from shipped closures run against the
+same imported ``repro`` modules the coordinator used.
+
+Fault injection (tests only)
+----------------------------
+``--fail-after-tasks N --fail-mode kill|stall`` arms a fault that fires
+when the N-th task *starts*:
+
+* ``kill``  — the process exits immediately (``os._exit``), as a crashed
+  host would: every socket dies and the coordinator's dispatcher sees a
+  broken connection at once.
+* ``stall`` — the daemon stops responding on *every* connection,
+  heartbeats included, as a frozen host would: the coordinator's
+  heartbeat thread is what must notice.
+
+A third mode, ``drop``, closes all sockets but leaves the process alive;
+it exists for in-process tests (property-based suites run WorkerServer
+on a thread, where ``os._exit`` would take the test runner with it).
+These flags simulate infrastructure loss — task *code* that raises is
+not a fault, it is a result (the exception travels back and re-raises at
+the coordinator, matching every other backend).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.mapreduce import wire
+
+FAULT_MODES = ("kill", "stall", "drop")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Test-only fault: fire ``mode`` when task number ``after_tasks`` starts."""
+
+    mode: str
+    after_tasks: int
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ValueError(f"fault mode must be one of {FAULT_MODES}")
+        if self.after_tasks < 1:
+            raise ValueError("after_tasks must be >= 1")
+
+
+class WorkerServer:
+    """One worker daemon: accept loop + per-connection handler threads."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fault: Optional[FaultSpec] = None,
+    ) -> None:
+        self.fault = fault
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._connections: List[socket.socket] = []
+        self._tasks_started = 0
+        self._stalled = threading.Event()
+        self._closing = False
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept loop; returns when :meth:`stop` closes the listener."""
+        while True:
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:  # listener closed: shut down
+                return
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - exotic socket stack
+                pass
+            with self._lock:
+                if self._closing:
+                    conn.close()
+                    return
+                self._connections.append(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                daemon=True,
+                name="repro-worker-conn",
+            ).start()
+
+    def start(self) -> "WorkerServer":
+        """Serve on a daemon thread (in-process tests); returns self."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, daemon=True, name="repro-worker-accept"
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Close the listener and every live connection."""
+        with self._lock:
+            self._closing = True
+            connections = list(self._connections)
+            self._connections.clear()
+        self._close_socket(self._listener)
+        for conn in connections:
+            self._close_socket(conn)
+
+    @staticmethod
+    def _close_socket(sock: socket.socket) -> None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    # -- connection handling ---------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        registry: Dict[int, object] = {}
+        try:
+            while True:
+                try:
+                    message = wire.recv_frame(conn)
+                except wire.WireError:
+                    return  # peer went away; registrations die with us
+                if self._stalled.is_set():
+                    # A "frozen host": never answer anything again.
+                    threading.Event().wait()
+                try:
+                    reply = self._handle(message, registry)
+                except wire.WireError:
+                    return  # drop-mode fault: sockets are already gone
+                if reply is None:
+                    return  # shutdown requested
+                try:
+                    wire.send_frame(conn, reply)
+                except OSError:
+                    return
+        finally:
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+            self._close_socket(conn)
+
+    def _handle(
+        self, message: object, registry: Dict[int, object]
+    ) -> Optional[Tuple]:
+        if not isinstance(message, tuple) or not message:
+            return ("error", "malformed message")
+        try:
+            return self._handle_message(message, registry)
+        except (ValueError, IndexError, TypeError):
+            # Wrong arity / wrong field types: answer like any other
+            # malformed message instead of killing the handler thread.
+            return ("error", "malformed message")
+
+    def _handle_message(
+        self, message: Tuple, registry: Dict[int, object]
+    ) -> Optional[Tuple]:
+        kind = message[0]
+        if kind == "ping":
+            return ("pong", message[1] if len(message) > 1 else 0)
+        if kind == "hello":
+            return ("hello-ack", wire.peer_info())
+        if kind == "register":
+            _kind, token, blob = message
+            try:
+                registry[token] = wire.loads_task_fn(blob)
+            except Exception as exc:
+                return ("register-error", token, f"{type(exc).__name__}: {exc}")
+            return ("registered", token)
+        if kind == "unregister":
+            registry.pop(message[1], None)
+            return ("unregistered", message[1])
+        if kind == "task":
+            _kind, token, index = message
+            fn = registry.get(token)
+            if fn is None:
+                return ("task-error", index, KeyError(f"unknown token {token}"))
+            self._maybe_fault()
+            try:
+                value = fn(index)
+            except BaseException as exc:  # noqa: BLE001 - travels to coordinator
+                return ("task-error", index, _portable_exception(exc))
+            return ("result", index, value)
+        if kind == "shutdown":
+            # Close the listener too: the accept loop (CLI main thread or
+            # the in-process serve thread) unblocks and the daemon ends.
+            threading.Thread(target=self.stop, daemon=True).start()
+            return None
+        return ("error", f"unknown message kind {kind!r}")
+
+    # -- fault injection --------------------------------------------------
+
+    def _maybe_fault(self) -> None:
+        fault = self.fault
+        if fault is None:
+            return
+        with self._lock:
+            self._tasks_started += 1
+            fire = self._tasks_started == fault.after_tasks
+        if not fire:
+            return
+        if fault.mode == "kill":
+            os._exit(1)
+        if fault.mode == "stall":
+            self._stalled.set()
+            threading.Event().wait()  # never returns: this task hangs too
+        if fault.mode == "drop":
+            self.stop()
+            raise wire.WireError("connections dropped by fault injection")
+
+
+def _portable_exception(exc: BaseException) -> object:
+    """The exception itself when picklable, else a summary RuntimeError.
+
+    Coordinators re-raise whatever comes back, so a picklable user
+    exception (the overwhelmingly common case) propagates with its real
+    type — the same observable behaviour as the serial loop.
+    """
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"remote task failed: {type(exc).__name__}: {exc}")
+
+
+def spawn_daemon(extra_args: Tuple[str, ...] = ()):
+    """Spawn one ``repro worker serve`` subprocess on an OS-assigned port.
+
+    Returns ``(proc, addr)`` with the address read back from the daemon's
+    ``listening on`` banner.  The child gets this checkout on
+    ``PYTHONPATH`` and a scrubbed execution environment (no inherited
+    backend/addrs vars: remote tasks must never recursively dispatch).
+    Shared by the conformance/fault test harness and the hot-path
+    benchmarks — the banner format and scrubbing rules live here, next
+    to the daemon they describe.
+    """
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    env = os.environ.copy()
+    src_dir = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = str(src_dir) + os.pathsep + env.get("PYTHONPATH", "")
+    for name in (
+        "REPRO_EXEC_BACKEND",
+        "REPRO_EXEC_WORKERS",
+        "REPRO_WORKERS_ADDRS",
+        "REPRO_MAP_SHARDS",
+        "REPRO_PLAN_DISK_CACHE",
+    ):
+        env.pop(name, None)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "serve",
+            "--port",
+            "0",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    if "listening on" not in banner:
+        proc.kill()
+        proc.wait()
+        raise RuntimeError(f"worker daemon failed to start: {banner!r}")
+    return proc, banner.rsplit(" ", 1)[-1].strip()
+
+
+def stop_daemons(procs) -> None:
+    """Terminate spawned daemons; escalate to kill after a grace period."""
+    import subprocess
+
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck daemon
+            proc.kill()
+            proc.wait()
+
+
+def serve(
+    host: str,
+    port: int,
+    fault: Optional[FaultSpec] = None,
+) -> int:
+    """CLI entry: run one worker daemon until interrupted.
+
+    Prints ``repro-worker listening on HOST:PORT`` (flushed) before
+    serving, so spawners using ``--port 0`` can read the assigned port.
+    """
+    from repro.mapreduce import backend as backend_mod
+
+    # Remote tasks must not fan out onto another pool: flag the process
+    # so nested get_backend() calls degrade to serial, exactly like a
+    # forked pool worker.
+    backend_mod._IN_WORKER = True
+
+    server = WorkerServer(host=host, port=port, fault=fault)
+    print(f"repro-worker listening on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - operator ctrl-C
+        pass
+    finally:
+        server.stop()
+    return 0

@@ -172,6 +172,10 @@ def _stable_key_repr(key: object) -> str:
 #: as misses and deleted on contact.
 _DISK_FORMAT = 1
 
+#: Every table a disk store may hold — the single source of truth for
+#: whole-store sweeps (``clear``, the ``repro cache`` CLI).
+DISK_TABLES = ("samples", "stats", "joins")
+
 
 def _code_version() -> str:
     """The writing code's version, embedded in every payload: pickled
@@ -312,9 +316,11 @@ class DiskCacheStore:
                 dropped += 1
         return dropped
 
-    def clear(self) -> None:
-        for table in ("samples", "stats", "joins"):
-            self.drop_where(table, lambda _key: True)
+    def clear(self) -> int:
+        """Remove every entry in every table; returns the drop count."""
+        return sum(
+            self.drop_where(table, lambda _key: True) for table in DISK_TABLES
+        )
 
     @staticmethod
     def _discard(path: Path) -> None:
@@ -327,6 +333,30 @@ class DiskCacheStore:
 
     def counters(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "errors": self.errors}
+
+    def table_sizes(self) -> Dict[str, Tuple[int, int]]:
+        """Per-table ``(entry_count, total_bytes)`` of the on-disk store.
+
+        Read-only: never creates the root or table directories (so a
+        ``repro cache stats`` on a machine that has never cached stays
+        side-effect free).
+        """
+        sizes: Dict[str, Tuple[int, int]] = {}
+        for table in DISK_TABLES:
+            files = 0
+            size = 0
+            table_dir = self.root / table
+            if table_dir.is_dir():
+                for path in table_dir.iterdir():
+                    if path.suffix != ".pkl":
+                        continue
+                    try:
+                        size += path.stat().st_size
+                    except OSError:
+                        continue
+                    files += 1
+            sizes[table] = (files, size)
+        return sizes
 
 
 class PlanningCache:

@@ -31,6 +31,10 @@ class TestSettings:
         for name in (
             "REPRO_EXEC_BACKEND",
             "REPRO_EXEC_WORKERS",
+            "REPRO_WORKERS_ADDRS",
+            "REPRO_WORKER_HEARTBEAT_S",
+            "REPRO_TASK_RETRIES",
+            "REPRO_WORKER_CONNECT_TIMEOUT_S",
             "REPRO_MAP_SHARDS",
             "REPRO_NP_MIN_PROBE",
             "REPRO_NP_MIN_PAIRS",
@@ -41,6 +45,10 @@ class TestSettings:
         settings = execution_settings()
         assert settings.backend == "serial"
         assert settings.map_shards == 1
+        assert settings.workers_addrs == ()
+        assert settings.worker_heartbeat_s == 2.0
+        assert settings.task_retries == 2
+        assert settings.worker_connect_timeout_s == 1.0
         assert settings.np_min_probe == 128
         assert settings.np_min_pairs == 256
         assert not settings.plan_disk_cache
@@ -57,6 +65,7 @@ class TestSettings:
     def test_legacy_map_shards_selects_threads(self, monkeypatch):
         monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
         monkeypatch.delenv("REPRO_EXEC_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS_ADDRS", raising=False)
         monkeypatch.setenv("REPRO_MAP_SHARDS", "4")
         settings = execution_settings()
         assert settings.backend == "thread"
@@ -67,6 +76,7 @@ class TestSettings:
         monkeypatch.setenv("REPRO_EXEC_BACKEND", "quantum")
         monkeypatch.setenv("REPRO_EXEC_WORKERS", "lots")
         monkeypatch.setenv("REPRO_MAP_SHARDS", "-3")
+        monkeypatch.delenv("REPRO_WORKERS_ADDRS", raising=False)
         settings = execution_settings()
         assert settings.backend == "serial"
         assert settings.workers == 0
@@ -91,6 +101,115 @@ class TestSettings:
             monkeypatch.delenv("REPRO_NP_MIN_PAIRS")
             jobs.refresh_np_gates()
         assert (jobs._NP_MIN_PROBE, jobs._NP_MIN_PAIRS) == (128, 256)
+
+
+class TestDistributedSettings:
+    """Parsing edge cases of the distributed backend's environment knobs."""
+
+    def test_addrs_select_distributed_without_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_WORKERS_ADDRS", "127.0.0.1:7601,127.0.0.1:7602")
+        settings = execution_settings()
+        assert settings.backend == "distributed"
+        assert settings.workers_addrs == ("127.0.0.1:7601", "127.0.0.1:7602")
+        assert settings.effective_workers == 2
+        assert settings.parallel
+
+    def test_malformed_entries_are_skipped(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_WORKERS_ADDRS",
+            "nonsense, host:, :123, host:notaport, 10.0.0.1:70000,"
+            "  127.0.0.1:7601 , 127.0.0.1:7601, h:0; h2:8080",
+        )
+        settings = execution_settings()
+        # Only the well-formed, in-range, deduplicated survivors remain.
+        assert settings.workers_addrs == ("127.0.0.1:7601", "h2:8080")
+
+    def test_all_malformed_degrades_to_serial_selection(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_WORKERS_ADDRS", "not-an-addr,also:bad:extra:")
+        settings = execution_settings()
+        assert settings.workers_addrs == ()
+        assert settings.backend == "serial"
+        assert not settings.parallel
+        assert get_backend(settings).name == "serial"
+
+    def test_distributed_with_zero_workers_is_not_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "distributed")
+        monkeypatch.delenv("REPRO_WORKERS_ADDRS", raising=False)
+        settings = execution_settings()
+        assert settings.backend == "distributed"
+        assert settings.workers_addrs == ()
+        assert not settings.parallel
+        assert get_backend(settings).name == "serial"
+
+    def test_single_worker_is_still_parallel(self, monkeypatch):
+        """One remote daemon is worth dispatching to — unlike a 1-thread
+        pool, it offloads the coordinator."""
+        monkeypatch.setenv("REPRO_WORKERS_ADDRS", "127.0.0.1:7601")
+        settings = execution_settings()
+        assert settings.effective_workers == 1
+        assert settings.parallel
+
+    def test_explicit_backend_wins_over_addrs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "3")
+        monkeypatch.setenv("REPRO_WORKERS_ADDRS", "127.0.0.1:7601")
+        settings = execution_settings()
+        assert settings.backend == "thread"
+        assert settings.effective_workers == 3
+        # The addrs still parse (a later distributed run can use them).
+        assert settings.workers_addrs == ("127.0.0.1:7601",)
+
+    def test_legacy_map_shards_conflict_resolves_to_distributed(self, monkeypatch):
+        """REPRO_MAP_SHARDS>1 (PR 2) used to imply the thread backend;
+        configured worker daemons outrank it, and the shard count then
+        only shapes the chunk fan-out."""
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_MAP_SHARDS", "4")
+        monkeypatch.setenv(
+            "REPRO_WORKERS_ADDRS", "127.0.0.1:7601,127.0.0.1:7602"
+        )
+        settings = execution_settings()
+        assert settings.backend == "distributed"
+        assert settings.effective_workers == 2
+        assert settings.map_shards == 4
+        assert settings.chunk_fanout == 4  # max(workers, legacy shards)
+
+    def test_heartbeat_and_retry_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_HEARTBEAT_S", "0.5")
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "7")
+        monkeypatch.setenv("REPRO_WORKER_CONNECT_TIMEOUT_S", "0.25")
+        settings = execution_settings()
+        assert settings.worker_heartbeat_s == 0.5
+        assert settings.task_retries == 7
+        assert settings.worker_connect_timeout_s == 0.25
+
+    def test_garbage_knobs_fall_back_to_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_HEARTBEAT_S", "soon")
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "-5")
+        monkeypatch.setenv("REPRO_WORKER_CONNECT_TIMEOUT_S", "")
+        settings = execution_settings()
+        assert settings.worker_heartbeat_s == 2.0
+        assert settings.task_retries == 0  # clamped at the minimum
+        assert settings.worker_connect_timeout_s == 1.0
+
+    def test_heartbeat_clamped_above_zero(self, monkeypatch):
+        """A zero/negative heartbeat would spin or divide the liveness
+        window to nothing; the floor keeps the ping loop sane."""
+        monkeypatch.setenv("REPRO_WORKER_HEARTBEAT_S", "0")
+        assert execution_settings().worker_heartbeat_s == 0.05
+
+    def test_backend_instances_keyed_by_addrs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "distributed")
+        monkeypatch.setenv("REPRO_WORKERS_ADDRS", "127.0.0.1:7601")
+        first = get_backend()
+        assert first.name == "distributed"
+        assert get_backend() is first
+        monkeypatch.setenv("REPRO_WORKERS_ADDRS", "127.0.0.1:7602")
+        second = get_backend()
+        assert second.name == "distributed"
+        assert second is not first  # a new pool is a new coordinator
 
 
 class TestOrdering:
@@ -166,6 +285,7 @@ class TestSelectionAndNesting:
     def test_serial_by_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
         monkeypatch.delenv("REPRO_MAP_SHARDS", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS_ADDRS", raising=False)
         assert get_backend().name == "serial"
 
     def test_env_selects_process(self, monkeypatch):

@@ -1,89 +1,29 @@
-"""Backend equivalence: serial vs thread vs process, bit for bit.
+"""Backend equivalence grid: serial vs thread vs process vs distributed.
 
-The execution backend may only change *where* independent map chunks,
-reduce buckets, and ready-wave jobs run — never any output, counter, or
-simulated time.  This suite executes every planner's plan for the
-paper's mobile queries and the TPC-H extensions under all three
-backends and requires the full observable outcome (result rows in
-order, raw composites, makespan, merge time, and every per-job metric
-including shuffle bytes and reducer input bytes) to be identical to the
-serial run.
+All grid/digest/driver logic lives in :mod:`conformance` (shared with the
+fault-injection suite); this file is just the parameterization: every
+planner × every grid query × every parallel backend must reproduce the
+serial digest bit for bit.  The distributed leg runs against two real
+``repro worker serve`` daemons spawned for the module, and a final guard
+asserts the leg actually dispatched remotely (a pool that silently
+degraded to serial would make the whole leg vacuous).
 """
 
 import pytest
 
-from repro.baselines import HivePlanner, PigPlanner, YSmartPlanner
-from repro.core.executor import PlanExecutor
-from repro.core.planner import ThetaJoinPlanner
+import conformance
 from repro.mapreduce.backend import close_backends
-from repro.mapreduce.config import PAPER_CLUSTER_KP64
-from repro.mapreduce.runtime import SimulatedCluster
-from repro.workloads.mobile import mobile_benchmark_query
-from repro.workloads.tpch import tpch_benchmark_query
+from repro.mapreduce.wire import closure_transport_available
 
-METHOD_PLANNERS = (ThetaJoinPlanner, YSmartPlanner, HivePlanner, PigPlanner)
-
-BACKENDS = ("serial", "thread", "process")
+PARALLEL_BACKENDS = ("thread", "process", "distributed")
 
 
-def outcome_digest(outcome):
-    """Everything observable about one execution, hashable-comparable."""
-    report = outcome.report
-    return (
-        tuple(map(tuple, outcome.result.rows)),
-        tuple(outcome.composites),
-        report.makespan_s,
-        report.merge_time_s,
-        report.output_records,
-        tuple(
-            (
-                metrics.job_name,
-                metrics.num_map_tasks,
-                metrics.num_reduce_tasks,
-                metrics.map_output_records,
-                metrics.map_output_bytes,
-                metrics.shuffle_bytes,
-                tuple(metrics.reducer_input_bytes),
-                metrics.reduce_comparisons,
-                metrics.output_records,
-                metrics.output_bytes,
-                metrics.map_time_s,
-                metrics.copy_time_s,
-                metrics.reduce_time_s,
-                metrics.total_time_s,
-            )
-            for metrics in report.job_metrics
-        ),
-    )
-
-
-def run_with_backend(monkeypatch, backend, plan, query):
-    monkeypatch.setenv("REPRO_EXEC_BACKEND", backend)
-    monkeypatch.setenv("REPRO_EXEC_WORKERS", "2")
-    try:
-        outcome = PlanExecutor(SimulatedCluster(PAPER_CLUSTER_KP64)).execute(
-            plan, query
-        )
-    finally:
-        monkeypatch.setenv("REPRO_EXEC_BACKEND", "serial")
-    return outcome_digest(outcome)
-
-
-def assert_backends_agree(monkeypatch, query):
-    for planner_cls in METHOD_PLANNERS:
-        plan = planner_cls(PAPER_CLUSTER_KP64).plan(query)
-        digests = {
-            backend: run_with_backend(monkeypatch, backend, plan, query)
-            for backend in BACKENDS
-        }
-        assert digests["serial"][0], (
-            f"{query.name}/{planner_cls.__name__}: degenerate case, no rows"
-        )
-        for backend in ("thread", "process"):
-            assert digests[backend] == digests["serial"], (
-                f"{query.name}/{planner_cls.__name__}: {backend} backend "
-                "diverged from serial"
-            )
+@pytest.fixture(scope="module")
+def distributed_workers():
+    if not closure_transport_available():  # pragma: no cover - no cloudpickle
+        pytest.skip("cloudpickle unavailable: closures cannot ship over TCP")
+    with conformance.worker_pool(2) as addrs:
+        yield addrs
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -92,11 +32,18 @@ def _shutdown_pools():
     close_backends()
 
 
-@pytest.mark.parametrize("query_id", [1, 2, 3, 4])
-def test_mobile_backend_equivalence(monkeypatch, query_id):
-    assert_backends_agree(monkeypatch, mobile_benchmark_query(query_id, 20))
+@pytest.mark.parametrize("query_id", conformance.QUERY_IDS)
+@pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+def test_backend_equivalence(request, backend, query_id):
+    workers_addrs = ()
+    if backend == "distributed":
+        workers_addrs = request.getfixturevalue("distributed_workers")
+    conformance.assert_backend_matches_serial(
+        backend, query_id, workers_addrs=workers_addrs
+    )
 
 
-@pytest.mark.parametrize("query_id", [3, 5, 7])
-def test_tpch_backend_equivalence(monkeypatch, query_id):
-    assert_backends_agree(monkeypatch, tpch_benchmark_query(query_id, 200))
+def test_distributed_leg_really_dispatched(distributed_workers):
+    """Must run after the grid (file order): the distributed runs above
+    may not have degraded to serial behind the assertions' backs."""
+    conformance.assert_distributed_really_dispatched(distributed_workers)

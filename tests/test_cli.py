@@ -195,6 +195,115 @@ class TestExecutionFlags:
         assert get_planning_cache().disk is None
 
 
+class TestWorkersAddrsFlag:
+    def test_addrs_alone_select_distributed(self, monkeypatch):
+        import os
+
+        from repro.cli import apply_execution_flags, make_parser
+
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS_ADDRS", raising=False)
+        args = make_parser().parse_args(
+            ["--workers-addrs", "127.0.0.1:7601,127.0.0.1:7602", "run"]
+        )
+        restore = apply_execution_flags(args)
+        try:
+            assert os.environ["REPRO_EXEC_BACKEND"] == "distributed"
+            assert (
+                os.environ["REPRO_WORKERS_ADDRS"]
+                == "127.0.0.1:7601,127.0.0.1:7602"
+            )
+        finally:
+            restore()
+        assert "REPRO_EXEC_BACKEND" not in os.environ
+        assert "REPRO_WORKERS_ADDRS" not in os.environ
+
+    def test_unreachable_workers_still_run_correctly(self, capsys):
+        """No daemon listening: the distributed backend must degrade to
+        serial and the command must still produce the serial answer."""
+        assert main(["run", "--workload", "mobile", "--query", "1",
+                     "--volume", "20"]) == 0
+        serial_out = capsys.readouterr().out
+        # --backend is explicit: the test fixture pins REPRO_EXEC_BACKEND
+        # in the environment, and explicit env wins over flag inference.
+        assert main(["--backend", "distributed", "--workers-addrs", "127.0.0.1:1",
+                     "run", "--workload", "mobile", "--query", "1",
+                     "--volume", "20"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial_out
+        assert "degraded to serial" in captured.err
+
+
+class TestCacheCommand:
+    def run_plan(self, cache_dir):
+        assert main(["--cache-dir", str(cache_dir),
+                     "plan", "--workload", "mobile", "--query", "1",
+                     "--volume", "20"]) == 0
+
+    def test_stats_reports_entries_and_bytes(self, tmp_path, capsys):
+        target = tmp_path / "cache"
+        self.run_plan(target)
+        capsys.readouterr()
+        assert main(["--cache-dir", str(target), "cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(target / "planning") in out
+        for table in ("samples", "stats", "joins", "total"):
+            assert table in out
+        # The plan above cached at least one sample/statistics entry.
+        assert "   0 entries" not in out.splitlines()[-1]
+
+    def test_stats_on_empty_cache(self, tmp_path, capsys):
+        target = tmp_path / "nothing-here"
+        assert main(["--cache-dir", str(target), "cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "total" in out and "0 entries" in out
+        assert not target.exists()  # stats must not create the directory
+
+    def test_clear_removes_every_entry(self, tmp_path, capsys):
+        target = tmp_path / "cache"
+        self.run_plan(target)
+        assert list(target.glob("planning/*/*.pkl"))
+        capsys.readouterr()
+        assert main(["--cache-dir", str(target), "cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        assert not list(target.glob("planning/*/*.pkl"))
+        # Idempotent: clearing an empty cache is a no-op, not an error.
+        assert main(["--cache-dir", str(target), "cache", "clear"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["cache"])
+
+
+class TestWorkerServeParser:
+    def test_serve_defaults(self):
+        args = make_parser().parse_args(["worker", "serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7601
+        assert args.fail_after_tasks == 0
+
+    def test_fault_flags(self):
+        args = make_parser().parse_args(
+            ["worker", "serve", "--port", "0",
+             "--fail-after-tasks", "3", "--fail-mode", "stall"]
+        )
+        assert args.port == 0
+        assert args.fail_after_tasks == 3
+        assert args.fail_mode == "stall"
+
+    def test_worker_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["worker"])
+
+    def test_bad_fail_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(
+                ["worker", "serve", "--fail-mode", "melt"]
+            )
+
+
 class TestWorkloadRelations:
     def test_mobile_names(self):
         from repro.cli import workload_relations
