@@ -9,8 +9,12 @@
 #   make lint     - ruff check (config in pyproject.toml); skipped with a
 #                   notice when ruff is not installed locally — CI always
 #                   installs and enforces it
+#   make serve-smoke - boot a real `repro serve` daemon + 2 worker daemons
+#                   and drive 3 concurrent queries over the wire: one
+#                   checked against a serial reference, one cancelled,
+#                   one past its deadline (structured taxonomy errors)
 #   make ci       - the full local equivalent of the CI gate:
-#                   lint + verify + smoke
+#                   lint + verify + smoke + serve-smoke
 #   make bench    - hot-path microbenches (pytest-benchmark table)
 #   make hotpath  - append this revision's hot-path numbers to
 #                   BENCH_hotpaths.json (run with --label before first on
@@ -19,7 +23,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
-.PHONY: verify smoke lint ci bench hotpath
+.PHONY: verify smoke lint serve-smoke ci bench hotpath
 
 verify:
 	$(PYTEST) -x -q
@@ -36,7 +40,10 @@ lint:
 		echo "ruff not installed; skipping lint (CI installs and enforces it)"; \
 	fi
 
-ci: lint verify smoke
+serve-smoke:
+	$(PYTEST) -q tests/serve/test_smoke_subprocess.py
+
+ci: lint verify smoke serve-smoke
 
 bench:
 	$(PYTEST) -q benchmarks/test_perf_hotpaths.py

@@ -360,6 +360,38 @@ def bench_stats_cache_warm_plan() -> float:
     return _time(run)
 
 
+def bench_serve_query_latency():
+    """Warm submit->result latency of one query through the ``repro
+    serve`` coordinator, measured over the real wire (loopback TCP,
+    frame codec, admission queue, session thread, taxonomy round-trip).
+
+    The service overhead is the metric — the query itself is the small
+    mobile ad-hoc join, planned once to warm the statistics cache before
+    timing.  Returns ``None`` on pre-PR checkouts (no serve package).
+    """
+    try:
+        from repro.serve.client import ServiceClient
+        from repro.serve.coordinator import QueryService
+    except ImportError:  # pre-PR checkout: no query service
+        return None
+
+    sql = (
+        "SELECT t2.id FROM table t1, table t2 "
+        "WHERE t1.d = t2.d AND t1.bt <= t2.bt"
+    )
+    service = QueryService(max_concurrent=2, max_queue=8).start()
+    try:
+        with ServiceClient(service.address, timeout_s=60.0) as client:
+            client.run(sql)  # warm planning + relations caches
+
+            def run():
+                client.run(sql)
+
+            return _time(run)
+    finally:
+        service.stop()
+
+
 def bench_end_to_end() -> float:
     """Fig-10-style plan+execute: mobile Q2 at 20 GB on the kP<=64 cluster."""
     from repro.core.executor import PlanExecutor
@@ -395,6 +427,7 @@ def main() -> None:
         "reduce_phase_distributed_s": bench_reduce_phase_distributed(),
         "stats_cache_warm_plan_s": bench_stats_cache_warm_plan(),
         "warm_disk_plan_s": bench_warm_disk_plan(),
+        "serve_query_latency_s": bench_serve_query_latency(),
         "end_to_end_fig10_q2_20gb_s": bench_end_to_end(),
     }
     # Benches that don't exist on this checkout return None; drop the

@@ -8,6 +8,10 @@
         "SELECT t2.id FROM table t1, table t2 WHERE t1.d = t2.d AND t1.bt <= t2.bt"
     python -m repro.cli calibrate
     python -m repro.cli worker serve --host 127.0.0.1 --port 7601
+    python -m repro.cli worker list
+    python -m repro.cli serve --port 7600 --max-concurrent 4
+    python -m repro.cli query --addr 127.0.0.1:7600 --deadline-s 30 \\
+        "SELECT t2.id FROM table t1, table t2 WHERE t1.d = t2.d"
     python -m repro.cli cache stats
 
 ``run`` executes one query with one system; ``compare`` runs all four
@@ -18,8 +22,11 @@ plans and executes an ad-hoc query in the paper's SQL-like dialect over a
 workload's base relations; ``calibrate`` fits the cost-model constants
 from probe jobs (Section 6.2); ``worker serve`` runs one distributed
 execution daemon (point coordinators at it with ``--workers-addrs`` or
-``REPRO_WORKERS_ADDRS``); ``cache`` inspects or wipes the disk-persistent
-planning cache.
+``REPRO_WORKERS_ADDRS``) and ``worker list`` / ``worker status`` probe a
+fleet's health; ``serve`` runs the long-lived query service
+(admission control, per-query deadlines, cancellation) and ``query`` is
+its client; ``cache`` inspects or wipes the disk-persistent planning
+cache.
 """
 
 from __future__ import annotations
@@ -126,23 +133,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def workload_relations(workload: str, volume: int, seed: int):
-    """Base relations addressable from the SQL front end, by name."""
-    if workload == "mobile":
-        from repro.workloads.mobile import ROWS_3REL, generate_mobile_calls
-        from repro.utils import GB
+    """Base relations addressable from the SQL front end, by name.
 
-        rows = ROWS_3REL.get(volume, 140)
-        calls = generate_mobile_calls(
-            rows, num_stations=25, seed=seed,
-            bytes_per_row=(volume * GB) // rows if volume else 0,
-            name=f"calls{volume}gb",
-        )
-        return {"table": calls, "calls": calls}
-    if workload == "tpch":
-        from repro.workloads.tpch import TPCHDatabase
+    Moved to :func:`repro.workloads.workload_relations` (the serve query
+    service needs it without importing the CLI); kept here as a shim for
+    existing callers.
+    """
+    from repro.workloads import workload_relations as _relations
 
-        return TPCHDatabase(volume_gb=volume, seed=seed).tables()
-    raise SystemExit(f"unknown workload {workload!r} (mobile | tpch)")
+    try:
+        return _relations(workload, volume, seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def cmd_sql(args: argparse.Namespace) -> int:
@@ -235,8 +237,107 @@ def cmd_worker_serve(args: argparse.Namespace) -> int:
 
     fault = None
     if args.fail_after_tasks:
-        fault = FaultSpec(mode=args.fail_mode, after_tasks=args.fail_after_tasks)
+        fault = FaultSpec(
+            mode=args.fail_mode,
+            after_tasks=args.fail_after_tasks,
+            delay_s=args.fail_delay_s,
+        )
     return serve(args.host, args.port, fault=fault)
+
+
+def _print_probe(report: dict) -> None:
+    state = "alive" if report["alive"] else "DOWN"
+    rtt = f"{report['rtt_ms']:.1f}ms" if report["rtt_ms"] is not None else "-"
+    info = report.get("info") or {}
+    version = info.get("repro", "?")
+    python = ".".join(str(part) for part in info.get("python", ())) or "?"
+    compat = "ok" if report["compatible"] else "MISMATCH"
+    line = (
+        f"  {report['addr']:24s} {state:5s} rtt {rtt:>8s}  "
+        f"repro {version} py{python}  {compat}"
+    )
+    if report.get("error"):
+        line += f"  [{report['error']}]"
+    print(line)
+
+
+def cmd_worker_list(args: argparse.Namespace) -> int:
+    """Probe every fleet member (``--workers-addrs`` / env)."""
+    from repro.serve.fleet import probe_worker
+
+    addrs = execution_settings().workers_addrs
+    if not addrs:
+        print(
+            f"no worker addresses configured (set {WORKERS_ADDRS_ENV} or "
+            "--workers-addrs)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{len(addrs)} configured worker(s):")
+    down = 0
+    for addr in addrs:
+        report = probe_worker(addr, timeout_s=args.timeout)
+        _print_probe(report)
+        down += 0 if report["alive"] else 1
+    return 1 if down else 0
+
+
+def cmd_worker_status(args: argparse.Namespace) -> int:
+    from repro.serve.fleet import probe_worker
+
+    report = probe_worker(args.addr, timeout_s=args.timeout)
+    _print_probe(report)
+    return 0 if report["alive"] and report["compatible"] else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.coordinator import serve
+
+    return serve(
+        args.host,
+        args.port,
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
+        default_deadline_s=args.default_deadline_s or None,
+    )
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Client side of ``repro serve``: submit one query, print its rows."""
+    from repro.errors import ServiceError
+    from repro.serve.client import ServiceClient
+
+    knobs = {}
+    for entry in args.set or ():
+        name, sep, value = entry.partition("=")
+        if not sep:
+            raise SystemExit(f"--set expects NAME=VALUE, got {entry!r}")
+        knobs[name] = value
+    try:
+        with ServiceClient(args.addr) as client:
+            result = client.run(
+                args.sql,
+                workload=args.workload,
+                volume=args.volume,
+                seed=args.seed,
+                method=args.method,
+                deadline_s=args.deadline_s or None,
+                knobs=knobs,
+                timeout_s=args.timeout,
+            )
+    except ServiceError as exc:
+        print(f"query failed [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{result['output_records']} result rows | "
+        f"simulated makespan {result['makespan_s']:.1f}s | "
+        f"{result['num_jobs']} job(s)"
+    )
+    for row in result["rows"][: args.limit]:
+        print("  ", row)
+    if result["output_records"] > args.limit:
+        print(f"   ... and {result['output_records'] - args.limit} more rows")
+    return 0
 
 
 def _planning_disk_store():
@@ -444,11 +545,83 @@ def make_parser() -> argparse.ArgumentParser:
         help="TEST ONLY: inject a fault when the N-th task starts",
     )
     serve.add_argument(
-        "--fail-mode", choices=("kill", "stall"), default="kill",
-        help="TEST ONLY: fault kind — kill (process exit) or stall "
-        "(stop answering everything, heartbeats included)",
+        "--fail-mode", choices=("kill", "stall", "slow"), default="kill",
+        help="TEST ONLY: fault kind — kill (process exit), stall (stop "
+        "answering everything, heartbeats included), or slow (sleep "
+        "--fail-delay-s before every task from the N-th on)",
+    )
+    serve.add_argument(
+        "--fail-delay-s", type=float, default=0.0, metavar="S",
+        help="TEST ONLY: per-task sleep for --fail-mode slow",
     )
     serve.set_defaults(func=cmd_worker_serve)
+
+    worker_list = worker_sub.add_parser(
+        "list", help="probe every configured worker (handshake + ping)"
+    )
+    worker_list.add_argument(
+        "--timeout", type=float, default=1.0, help="per-probe budget, seconds"
+    )
+    worker_list.set_defaults(func=cmd_worker_list)
+
+    worker_status = worker_sub.add_parser(
+        "status", help="probe one worker daemon by address"
+    )
+    worker_status.add_argument("addr", help="host:port of the daemon")
+    worker_status.add_argument(
+        "--timeout", type=float, default=1.0, help="probe budget, seconds"
+    )
+    worker_status.set_defaults(func=cmd_worker_status)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the long-lived SQL query service daemon"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=7600,
+        help="TCP port (0 = OS-assigned; the daemon prints the address)",
+    )
+    serve_cmd.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="query sessions allowed to plan/run at once",
+    )
+    serve_cmd.add_argument(
+        "--max-queue", type=int, default=16,
+        help="admission queue depth; further submits are shed with a "
+        "structured admission-rejected error",
+    )
+    serve_cmd.add_argument(
+        "--default-deadline-s", type=float, default=0.0,
+        help="deadline budget for queries that do not set one (0 = none)",
+    )
+    serve_cmd.set_defaults(func=cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="submit one SQL query to a running 'repro serve'"
+    )
+    query.add_argument("sql", help="query in the paper's SQL-like dialect")
+    query.add_argument(
+        "--addr", default="127.0.0.1:7600", help="host:port of the service"
+    )
+    query.add_argument("--workload", choices=("mobile", "tpch"), default="mobile")
+    query.add_argument("--volume", type=int, default=0, help="data volume label (GB)")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--method", choices=sorted(PLANNERS), default="ours")
+    query.add_argument(
+        "--deadline-s", type=float, default=0.0,
+        help="per-query deadline budget, seconds (0 = none)",
+    )
+    query.add_argument(
+        "--set", action="append", metavar="REPRO_X=VALUE",
+        help="per-query knob override (repeatable); e.g. "
+        "--set REPRO_TASK_RETRIES=0",
+    )
+    query.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="client-side wait budget, seconds",
+    )
+    query.add_argument("--limit", type=int, default=10, help="result rows shown")
+    query.set_defaults(func=cmd_query)
 
     cache = sub.add_parser(
         "cache", help="inspect or wipe the disk-persistent planning cache"

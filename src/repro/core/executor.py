@@ -51,6 +51,7 @@ from repro.joins.records import (
     relation_to_composite_file,
 )
 from repro.mapreduce.backend import get_backend
+from repro.mapreduce.cancel import check_cancelled
 from repro.mapreduce.counters import ExecutionReport, JobMetrics
 from repro.mapreduce.hdfs import DistributedFile
 from repro.mapreduce.runtime import SimulatedCluster
@@ -234,6 +235,9 @@ class PlanExecutor:
                     push_ready(dependent)
 
         while remaining or running:
+            # Cooperative cancellation checkpoint: a serve-session
+            # deadline or cancel stops the plan between ready waves.
+            check_cancelled()
             # Start every ready job that fits, in plan order.  Starting a
             # job only consumes units, so one ordered pass reaches the
             # same fixed point the previous repeated sweeps did.  The

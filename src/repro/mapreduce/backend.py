@@ -252,6 +252,10 @@ class _WorkerHandle:
         self.heartbeat_s = heartbeat_s
         self.connect_timeout_s = connect_timeout_s
         self.dead = threading.Event()
+        #: Set when the worker was removed from the fleet by a live
+        #: reconfiguration: dispatchers finish the in-flight task, then
+        #: stop pulling and close the handle — a drain, not a kill.
+        self.draining = threading.Event()
         self._task_sock = None
         self._heartbeat_sock = None
         self._io_lock = threading.Lock()
@@ -389,7 +393,24 @@ class DistributedBackend:
 
     Degradation is always to correctness: no reachable workers, an
     unshippable closure, or a missing cloudpickle simply run the batch
-    in-line (with a one-time note), never fail it.
+    in-line (with a one-time note), never fail it — unless strict-fleet
+    mode (``REPRO_STRICT_FLEET=1``, read per batch so ``repro serve``
+    can scope it per query) turns those degradations into structured
+    :class:`~repro.errors.FleetExhausted` failures.
+
+    Cancellation: ``run_tasks`` captures the calling thread's
+    :class:`~repro.mapreduce.cancel.CancellationToken` (if any).  A fired
+    token stops dispatchers from pulling new indices, **abandons**
+    in-flight indices of lost workers instead of re-queueing them (a
+    dead-by-deadline query must not spend the retry budget), and raises
+    the matching taxonomy error after the dispatchers settle — never the
+    local fallback.
+
+    Elasticity: :meth:`reconfigure` changes the worker address set of a
+    *live* coordinator — removed workers drain (finish their in-flight
+    task, take no new ones), added ones are dialed with the existing
+    backoff machinery at the next batch.  ``repro serve`` drives this
+    from its fleet-reconfiguration endpoint.
     """
 
     name = "distributed"
@@ -414,9 +435,61 @@ class DistributedBackend:
         self._batches = 0
         self._noted_degraded = False
         self._next_token = 0
+        #: Guards addrs/handles/redial — ``run_tasks`` may now be called
+        #: concurrently from several ``repro serve`` session threads.
         self._lock = threading.Lock()
+        #: Coordinator-wide count of indices currently on the wire,
+        #: across every concurrent batch.  Exposed so the service (and
+        #: the cancellation property tests) can assert nothing leaked.
+        self.tasks_in_flight = 0
+        self._inflight_lock = threading.Lock()
 
     # -- worker pool ----------------------------------------------------
+
+    def _track_inflight(self, delta: int) -> None:
+        with self._inflight_lock:
+            self.tasks_in_flight += delta
+
+    def reconfigure(self, addrs) -> Dict[str, List[str]]:
+        """Re-point this live coordinator at a new worker address set.
+
+        Removed addresses *drain*: their in-flight task completes, no new
+        index is pulled, and the handle closes when its dispatcher exits
+        (immediately when no batch is active).  Added addresses become
+        dial-eligible at the next batch with fresh backoff state.  The
+        degradation note resets — a changed fleet deserves a fresh
+        verdict.
+        """
+        addrs = tuple(addrs)
+        with self._lock:
+            old = self.addrs
+            if addrs == old:
+                return {"added": [], "removed": [], "kept": list(old)}
+            removed = [addr for addr in old if addr not in addrs]
+            added = [addr for addr in addrs if addr not in old]
+            self.addrs = addrs
+            drained: List[_WorkerHandle] = []
+            for addr in removed:
+                handle = self._handles.pop(addr, None)
+                self._redial.pop(addr, None)
+                if handle is not None:
+                    handle.draining.set()
+                    drained.append(handle)
+            for addr in added:
+                self._redial.pop(addr, None)
+            self._noted_degraded = False
+        with self._inflight_lock:
+            idle = self.tasks_in_flight == 0
+        if idle:
+            # No batch is dispatching, so no dispatcher will ever reach
+            # the drained handles' close path: close them here.
+            for handle in drained:
+                handle.mark_dead()
+        return {
+            "added": added,
+            "removed": removed,
+            "kept": [addr for addr in addrs if addr in old],
+        }
 
     def _live_handles(self) -> List[_WorkerHandle]:
         """Connected handles; dials (and re-dials) the rest with backoff.
@@ -426,6 +499,8 @@ class DistributedBackend:
         so a worker daemon restarted on the same host:port rejoins a
         long-lived coordinator instead of being blacklisted forever,
         while a genuinely down host is only probed occasionally.
+
+        Callers must hold ``self._lock``.
         """
         live = []
         for addr in self.addrs:
@@ -463,22 +538,34 @@ class DistributedBackend:
     def run_tasks(self, fn: TaskFn, count: int) -> List[object]:
         if count <= 1:
             return [fn(index) for index in range(count)]
+        from repro.errors import FleetExhausted
         from repro.mapreduce import wire
+        from repro.mapreduce.cancel import current_token
 
-        self._batches += 1
-        handles = self._live_handles()
+        # Both are read on the *calling* thread, so a serve session's
+        # per-query scope (knobs + cancellation token) travels with the
+        # batch even though this backend instance is shared.
+        token = current_token()
+        strict = execution_settings().strict_fleet
+
+        def degraded(reason: str) -> List[object]:
+            if strict:
+                raise FleetExhausted(reason)
+            self._note_degraded(reason)
+            return [fn(index) for index in range(count)]
+
+        with self._lock:
+            self._batches += 1
+            handles = self._live_handles()
         if not handles:
-            self._note_degraded("no worker daemons answered")
-            return [fn(index) for index in range(count)]
+            return degraded("no worker daemons answered")
         if not wire.closure_transport_available():
-            self._note_degraded("cloudpickle unavailable")
-            return [fn(index) for index in range(count)]
+            return degraded("cloudpickle unavailable")
         try:
             blob = wire.dumps_task_fn(fn)
         except Exception as exc:  # unshippable capture: run locally
-            self._note_degraded(f"task closure not serializable: {exc}")
-            return [fn(index) for index in range(count)]
-        return self._dispatch(fn, blob, count, handles)
+            return degraded(f"task closure not serializable: {exc}")
+        return self._dispatch(fn, blob, count, handles, token, strict)
 
     def _dispatch(
         self,
@@ -486,7 +573,11 @@ class DistributedBackend:
         blob: bytes,
         count: int,
         handles: List[_WorkerHandle],
+        cancel_token=None,
+        strict: bool = False,
     ) -> List[object]:
+        from repro.errors import FleetExhausted
+
         with self._lock:
             self._next_token += 1
             token = self._next_token
@@ -498,26 +589,44 @@ class DistributedBackend:
         in_flight = [0]
         cond = threading.Condition()
 
+        def fired() -> bool:
+            return cancel_token is not None and cancel_token.fired() is not None
+
         def pull_tasks(handle: _WorkerHandle) -> None:
             while True:
                 with cond:
                     # An idle dispatcher must not exit while a peer still
                     # holds an index in flight: if that peer's worker dies
                     # its index is re-queued, and this survivor is the one
-                    # meant to retry it.
-                    while failure[0] is None and not pending and in_flight[0] > 0:
+                    # meant to retry it.  The 50 ms poll also bounds how
+                    # long an expired deadline or a drain goes unnoticed
+                    # while idling.
+                    while (
+                        failure[0] is None
+                        and not fired()
+                        and not handle.draining.is_set()
+                        and not pending
+                        and in_flight[0] > 0
+                    ):
                         cond.wait(0.05)
-                    if failure[0] is not None or not pending:
+                    if (
+                        failure[0] is not None
+                        or fired()
+                        or handle.draining.is_set()
+                        or not pending
+                    ):
                         return
                     index = pending.popleft()
                     attempts[index] += 1
                     in_flight[0] += 1
+                    self._track_inflight(+1)
                 try:
                     value = handle.run_task(token, index)
                 except _RemoteTaskError as exc:
                     with cond:
                         failure[0] = exc.original
                         in_flight[0] -= 1
+                        self._track_inflight(-1)
                         cond.notify_all()
                     return
                 except BaseException:
@@ -528,9 +637,17 @@ class DistributedBackend:
                     handle.mark_dead()
                     with cond:
                         in_flight[0] -= 1
-                        # Retry on the survivors while budget remains;
-                        # otherwise the local fallback below covers it.
-                        if index not in results and attempts[index] <= self.task_retries:
+                        self._track_inflight(-1)
+                        # Retry on the survivors while budget remains —
+                        # unless the query is already cancelled or past
+                        # its deadline, in which case the index is
+                        # *abandoned*: re-running work nobody will read
+                        # would spend fleet capacity other queries need.
+                        if (
+                            not fired()
+                            and index not in results
+                            and attempts[index] <= self.task_retries
+                        ):
                             pending.append(index)
                         cond.notify_all()
                     return
@@ -539,6 +656,7 @@ class DistributedBackend:
                     # index wins; a zombie's late duplicate is dropped.
                     results.setdefault(index, value)
                     in_flight[0] -= 1
+                    self._track_inflight(-1)
                     cond.notify_all()
 
         def dispatcher(handle: _WorkerHandle) -> None:
@@ -553,6 +671,10 @@ class DistributedBackend:
                 # error must not leak the registration (unregister of a
                 # lost worker is a no-op).
                 handle.unregister(token)
+                if handle.draining.is_set():
+                    # Drained by a live reconfiguration: this dispatcher
+                    # owns the close once its last round-trip finished.
+                    handle.mark_dead()
 
         threads = [
             threading.Thread(
@@ -570,10 +692,20 @@ class DistributedBackend:
 
         if failure[0] is not None:
             raise failure[0]
+        if cancel_token is not None:
+            # A fired token raises here (cancelled/deadline taxonomy):
+            # unresolved indices stay abandoned — no local fallback for a
+            # query nobody is waiting on.
+            cancel_token.check()
         # Anything unresolved (all workers lost, retry budget exhausted)
         # runs locally — each missing index exactly once, in index order.
         missing = [index for index in range(count) if index not in results]
         if missing:
+            if strict:
+                raise FleetExhausted(
+                    f"{len(missing)} task(s) exhausted the worker fleet",
+                    details={"missing_tasks": len(missing)},
+                )
             self._note_degraded(
                 f"{len(missing)} task(s) fell back to local execution"
             )
@@ -582,10 +714,12 @@ class DistributedBackend:
         return [results[index] for index in range(count)]
 
     def close(self) -> None:
-        for handle in self._handles.values():
+        with self._lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+            self._redial.clear()
+        for handle in handles:
             handle.mark_dead()
-        self._handles.clear()
-        self._redial.clear()
 
 
 # -- backend selection ---------------------------------------------------
@@ -610,8 +744,20 @@ def get_backend(settings: Optional[ExecutionSettings] = None):
         return _SERIAL
     key: Tuple = (settings.backend, settings.effective_workers)
     if settings.backend == "distributed":
-        key = key + (settings.workers_addrs,)
+        # Keyed by timing knobs only — NOT by the address list.  A fleet
+        # change (scaling under a live ``repro serve``) must *reconfigure*
+        # the one live backend (drain removed workers, dial added ones)
+        # rather than abandon its handles and dial a cold twin.
+        key = (
+            "distributed",
+            settings.worker_heartbeat_s,
+            settings.task_retries,
+            settings.worker_connect_timeout_s,
+        )
     backend = _BACKENDS.get(key)
+    if backend is not None and settings.backend == "distributed":
+        if tuple(backend.addrs) != tuple(settings.workers_addrs):
+            backend.reconfigure(settings.workers_addrs)
     if backend is None:
         if settings.backend == "distributed":
             backend = DistributedBackend(

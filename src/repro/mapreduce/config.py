@@ -15,9 +15,11 @@ dataclasses above describe.  The README documents the full knob table.
 from __future__ import annotations
 
 import os
+import sys
+import threading
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Mapping, Optional, Tuple
 
 from repro.utils import MB
 
@@ -140,6 +142,12 @@ WORKER_HEARTBEAT_ENV = "REPRO_WORKER_HEARTBEAT_S"
 TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
 #: Seconds allowed for the TCP connect + hello handshake per worker.
 WORKER_CONNECT_TIMEOUT_ENV = "REPRO_WORKER_CONNECT_TIMEOUT_S"
+#: "1" makes the distributed backend *fail* (a structured
+#: ``fleet-exhausted`` error) instead of silently degrading to serial /
+#: local execution when no worker daemon can run the tasks.  Production
+#: services want the loud failure; the library default stays the quiet
+#: degradation that can never break a result.
+STRICT_FLEET_ENV = "REPRO_STRICT_FLEET"
 #: Legacy knob from PR 2: chunk fan-out + thread count for the batched
 #: map phase.  Still honoured: setting it (>1) without a backend choice
 #: selects the thread backend with that many workers.
@@ -159,18 +167,26 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 EXEC_BACKENDS = ("serial", "thread", "process", "distributed")
 
 
-def _env_int(name: str, default: int, minimum: int = 0) -> int:
+def _env_int(name: str, default: int, env: Mapping[str, str], minimum: int = 0) -> int:
     try:
-        return max(minimum, int(os.environ.get(name, str(default))))
+        return max(minimum, int(env.get(name, str(default))))
     except ValueError:
         return default
 
 
-def _env_float(name: str, default: float, minimum: float = 0.0) -> float:
+def _env_float(
+    name: str, default: float, env: Mapping[str, str], minimum: float = 0.0
+) -> float:
     try:
-        return max(minimum, float(os.environ.get(name, str(default))))
+        return max(minimum, float(env.get(name, str(default))))
     except ValueError:
         return default
+
+
+#: Malformed ``REPRO_WORKERS_ADDRS`` entries already warned about, so a
+#: fleet typo is named exactly once per process instead of on every
+#: settings read (these are re-read per phase) or not at all.
+_warned_addr_entries: set = set()
 
 
 def parse_workers_addrs(raw: str) -> Tuple[str, ...]:
@@ -180,7 +196,9 @@ def parse_workers_addrs(raw: str) -> Tuple[str, ...]:
     out-of-range port, empty host) are skipped, duplicates collapse to
     their first occurrence, and an all-invalid value parses to the empty
     tuple — which simply leaves the distributed backend degraded to
-    serial.
+    serial.  Every *dropped* entry is named in a one-time stderr warning:
+    a silently shrunken fleet is the least diagnosable way to lose
+    capacity to a typo.
     """
     from repro.mapreduce.wire import parse_addr
 
@@ -188,6 +206,13 @@ def parse_workers_addrs(raw: str) -> Tuple[str, ...]:
     for entry in raw.replace(";", ",").split(","):
         parsed = parse_addr(entry)
         if parsed is None:
+            if entry.strip() and entry.strip() not in _warned_addr_entries:
+                _warned_addr_entries.add(entry.strip())
+                print(
+                    f"repro: ignoring malformed worker address {entry.strip()!r} "
+                    f"in {WORKERS_ADDRS_ENV} (expected host:port)",
+                    file=sys.stderr,
+                )
             continue
         normalized = f"{parsed[0]}:{parsed[1]}"
         if normalized not in seen:
@@ -227,12 +252,23 @@ class ExecutionSettings:
     plan_disk_cache: bool = False
     #: Root of the on-disk cache (``~/.cache/repro`` by default).
     cache_dir: Optional[str] = None
+    #: Fail with ``fleet-exhausted`` instead of degrading to serial/local
+    #: when the distributed fleet cannot run the tasks.
+    strict_fleet: bool = False
 
     @classmethod
-    def from_env(cls) -> "ExecutionSettings":
-        backend = os.environ.get(EXEC_BACKEND_ENV, "").strip().lower()
-        map_shards = _env_int(MAP_SHARDS_ENV, 1, minimum=1)
-        workers_addrs = parse_workers_addrs(os.environ.get(WORKERS_ADDRS_ENV, ""))
+    def from_env(
+        cls, overrides: Optional[Mapping[str, str]] = None
+    ) -> "ExecutionSettings":
+        """Settings from the environment, optionally shadowed by
+        ``overrides`` (the per-query knob scope of ``repro serve``
+        sessions — see :func:`settings_scope`)."""
+        env: Mapping[str, str] = os.environ
+        if overrides:
+            env = {**os.environ, **{k: str(v) for k, v in overrides.items()}}
+        backend = env.get(EXEC_BACKEND_ENV, "").strip().lower()
+        map_shards = _env_int(MAP_SHARDS_ENV, 1, env, minimum=1)
+        workers_addrs = parse_workers_addrs(env.get(WORKERS_ADDRS_ENV, ""))
         if backend not in EXEC_BACKENDS:
             # Unset/invalid: configured worker daemons imply distributed,
             # else legacy REPRO_MAP_SHARDS>1 implies threads (PR 2
@@ -245,18 +281,19 @@ class ExecutionSettings:
                 backend = "serial"
         return cls(
             backend=backend,
-            workers=_env_int(EXEC_WORKERS_ENV, 0),
+            workers=_env_int(EXEC_WORKERS_ENV, 0, env),
             workers_addrs=workers_addrs,
-            worker_heartbeat_s=_env_float(WORKER_HEARTBEAT_ENV, 2.0, minimum=0.05),
-            task_retries=_env_int(TASK_RETRIES_ENV, 2),
+            worker_heartbeat_s=_env_float(WORKER_HEARTBEAT_ENV, 2.0, env, minimum=0.05),
+            task_retries=_env_int(TASK_RETRIES_ENV, 2, env),
             worker_connect_timeout_s=_env_float(
-                WORKER_CONNECT_TIMEOUT_ENV, 1.0, minimum=0.05
+                WORKER_CONNECT_TIMEOUT_ENV, 1.0, env, minimum=0.05
             ),
             map_shards=map_shards,
-            np_min_probe=_env_int(NP_MIN_PROBE_ENV, 128),
-            np_min_pairs=_env_int(NP_MIN_PAIRS_ENV, 256),
-            plan_disk_cache=os.environ.get(PLAN_DISK_CACHE_ENV, "0") == "1",
-            cache_dir=os.environ.get(CACHE_DIR_ENV) or None,
+            np_min_probe=_env_int(NP_MIN_PROBE_ENV, 128, env),
+            np_min_pairs=_env_int(NP_MIN_PAIRS_ENV, 256, env),
+            plan_disk_cache=env.get(PLAN_DISK_CACHE_ENV, "0") == "1",
+            cache_dir=env.get(CACHE_DIR_ENV) or None,
+            strict_fleet=env.get(STRICT_FLEET_ENV, "0") == "1",
         )
 
     @property
@@ -294,6 +331,45 @@ class ExecutionSettings:
         return Path("~/.cache/repro").expanduser()
 
 
+#: Thread-local ``REPRO_*`` override scope: ``repro serve`` runs each
+#: query session on its own thread with the session's knob overrides
+#: installed here, so concurrent queries can each see a different
+#: backend / retry budget / heartbeat without fighting over the (process
+#: global) ``os.environ``.
+_SCOPE_TLS = threading.local()
+
+
+class settings_scope:
+    """``with settings_scope({"REPRO_TASK_RETRIES": "0"}):`` — shadow the
+    environment for :func:`execution_settings` reads *on this thread*.
+
+    Reentrant: an inner scope's keys win over an outer scope's, and the
+    outer mapping is restored on exit.  Backend pool threads never
+    inherit the scope (by design — a session's knobs must not leak into
+    another session's tasks that happen to share a pool).
+    """
+
+    def __init__(self, overrides: Optional[Mapping[str, str]]) -> None:
+        self._overrides = dict(overrides or {})
+        self._outer: Optional[dict] = None
+
+    def __enter__(self) -> dict:
+        self._outer = getattr(_SCOPE_TLS, "overrides", None)
+        merged = dict(self._outer or {})
+        merged.update(self._overrides)
+        _SCOPE_TLS.overrides = merged
+        return merged
+
+    def __exit__(self, *exc_info) -> None:
+        _SCOPE_TLS.overrides = self._outer
+
+
+def current_settings_overrides() -> Optional[Mapping[str, str]]:
+    """The calling thread's active knob overrides, if any."""
+    return getattr(_SCOPE_TLS, "overrides", None)
+
+
 def execution_settings() -> ExecutionSettings:
-    """The current environment's :class:`ExecutionSettings` (fresh read)."""
-    return ExecutionSettings.from_env()
+    """The current environment's :class:`ExecutionSettings` (fresh read),
+    folded with the calling thread's :class:`settings_scope` overrides."""
+    return ExecutionSettings.from_env(current_settings_overrides())

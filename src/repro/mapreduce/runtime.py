@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
 from repro.mapreduce.backend import get_backend
+from repro.mapreduce.cancel import check_cancelled
 from repro.mapreduce.config import (
     MAP_SHARDS_ENV,  # noqa: F401  (re-exported; PR 2's public location)
     ClusterConfig,
@@ -87,7 +88,12 @@ class SimulatedCluster:
         metrics.input_records = spec.input_records
         metrics.num_reduce_tasks = spec.num_reducers
 
+        # Cooperative cancellation checkpoints: a serve-session deadline
+        # or cancel fires between phases (and between the independent
+        # work items inside each phase), never mid-record.
+        check_cancelled()
         buckets, map_ctx = self._run_map_phase(spec, metrics)
+        check_cancelled()
         output_records, reducer_costs = self._run_reduce_phase(spec, buckets, metrics)
         self._charge_time(spec, metrics, map_units, reduce_units, reducer_costs)
 
@@ -133,6 +139,7 @@ class SimulatedCluster:
         fixed_width = spec.pair_width
         width_fn = spec.pair_width_fn
         for file in spec.inputs:
+            check_cancelled()  # per-file: keeps the per-pair loop clean
             tag = file.tag
             for position, record in enumerate(file.records):
                 ctx.record_index = position
@@ -194,10 +201,17 @@ class SimulatedCluster:
 
         batch_mapper = spec.batch_mapper
         assert batch_mapper is not None
+
+        def map_chunk(index: int):
+            # Per-chunk cancellation checkpoint: active when the serial
+            # backend (or a local fallback) runs chunks on the session
+            # thread; a free no-op on pool/dispatcher threads and inside
+            # remote workers, where no token scope exists.
+            check_cancelled()
+            return batch_mapper(*chunks[index])
+
         backend = get_backend(settings)
-        batches = backend.run_tasks(
-            lambda index: batch_mapper(*chunks[index]), len(chunks)
-        )
+        batches = backend.run_tasks(map_chunk, len(chunks))
 
         buckets: List[Dict[object, List[object]]] = [
             {} for _ in range(spec.num_reducers)
@@ -249,6 +263,7 @@ class SimulatedCluster:
         width_fn = spec.pair_width_fn
         append_output = output_records.append
         for bucket in buckets:
+            check_cancelled()  # per-bucket: one reduce task is the grain
             ctx = TaskContext()
             input_bytes = 0
             input_values = 0
@@ -315,6 +330,7 @@ class SimulatedCluster:
             output_records: List[object] = []
             reducer_costs: List[float] = []
             for bucket in buckets:
+                check_cancelled()  # same grain as the scalar reduce loop
                 keys = list(bucket)
                 offsets: List[int] = [0]
                 flat: List[object] = []
@@ -346,6 +362,7 @@ class SimulatedCluster:
             return output_records, reducer_costs
 
         def reduce_bucket(index: int) -> Tuple[List[object], int, int, float]:
+            check_cancelled()  # active on the session thread (fallbacks)
             bucket = buckets[index]
             keys = list(bucket)
             offsets: List[int] = [0]

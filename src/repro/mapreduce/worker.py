@@ -29,9 +29,18 @@ when the N-th task *starts*:
 A third mode, ``drop``, closes all sockets but leaves the process alive;
 it exists for in-process tests (property-based suites run WorkerServer
 on a thread, where ``os._exit`` would take the test runner with it).
-These flags simulate infrastructure loss — task *code* that raises is
-not a fault, it is a result (the exception travels back and re-raises at
-the coordinator, matching every other backend).
+A fourth, ``slow``, sleeps ``delay_s`` before *every* task from the
+N-th on — a degraded-but-alive host, the shape that stresses deadline
+budgets rather than retry logic.  These flags simulate infrastructure
+loss — task *code* that raises is not a fault, it is a result (the
+exception travels back and re-raises at the coordinator, matching every
+other backend).
+
+Faults can also be **armed over the wire**: a ``("fault", mode,
+after_tasks, delay_s)`` message replaces the server's fault spec and
+resets its task counter.  That is what the serve-mode chaos harness
+(:mod:`repro.serve.chaos`) uses to script kill/stall/slow schedules
+against live daemons without restarting them.
 """
 
 from __future__ import annotations
@@ -39,26 +48,34 @@ from __future__ import annotations
 import os
 import socket
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.mapreduce import wire
 
-FAULT_MODES = ("kill", "stall", "drop")
+FAULT_MODES = ("kill", "stall", "drop", "slow")
 
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """Test-only fault: fire ``mode`` when task number ``after_tasks`` starts."""
+    """Test-only fault: fire ``mode`` when task number ``after_tasks`` starts.
+
+    ``slow`` mode keeps firing: every task from the ``after_tasks``-th on
+    sleeps ``delay_s`` first.  The terminal modes fire exactly once.
+    """
 
     mode: str
     after_tasks: int
+    delay_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.mode not in FAULT_MODES:
             raise ValueError(f"fault mode must be one of {FAULT_MODES}")
         if self.after_tasks < 1:
             raise ValueError("after_tasks must be >= 1")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
 
 
 class WorkerServer:
@@ -211,6 +228,21 @@ class WorkerServer:
             except BaseException as exc:  # noqa: BLE001 - travels to coordinator
                 return ("task-error", index, _portable_exception(exc))
             return ("result", index, value)
+        if kind == "fault":
+            # Chaos-harness arming: replace the fault spec live and reset
+            # the task counter so after_tasks counts from *this* arming.
+            _kind, mode, after_tasks, delay_s = message
+            spec = (
+                None
+                if mode is None
+                else FaultSpec(str(mode), int(after_tasks), float(delay_s))
+            )
+            with self._lock:
+                self.fault = spec
+                self._tasks_started = 0
+            if spec is None:
+                return ("fault-armed", None, 0)
+            return ("fault-armed", spec.mode, spec.after_tasks)
         if kind == "shutdown":
             # Close the listener too: the accept loop (CLI main thread or
             # the in-process serve thread) unblocks and the daemon ends.
@@ -221,13 +253,18 @@ class WorkerServer:
     # -- fault injection --------------------------------------------------
 
     def _maybe_fault(self) -> None:
-        fault = self.fault
-        if fault is None:
-            return
         with self._lock:
+            fault = self.fault
+            if fault is None:
+                return
             self._tasks_started += 1
-            fire = self._tasks_started == fault.after_tasks
-        if not fire:
+            started = self._tasks_started
+        if fault.mode == "slow":
+            # Keeps firing: every task from the N-th on runs degraded.
+            if started >= fault.after_tasks:
+                time.sleep(fault.delay_s)
+            return
+        if started != fault.after_tasks:
             return
         if fault.mode == "kill":
             os._exit(1)

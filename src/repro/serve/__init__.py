@@ -1,0 +1,51 @@
+"""``repro serve``: the long-lived query service.
+
+A coordinator daemon (:mod:`repro.serve.coordinator`) accepts SQL
+queries from many concurrent clients over the
+:mod:`repro.mapreduce.wire` framing, runs each in an isolated session
+(:mod:`repro.serve.session`) over the shared worker fleet
+(:mod:`repro.serve.fleet`), and survives overload, worker loss,
+deadlines, and cancellation with structured errors
+(:mod:`repro.errors`) instead of hangs or tracebacks.  The chaos
+harness (:mod:`repro.serve.chaos`) scripts worker kill/stall/slow
+schedules against a live service so the isolation guarantees are
+tested, not asserted.
+"""
+
+from repro.serve.chaos import ChaosEvent, ChaosHarness, arm_fault
+from repro.serve.client import ServiceClient
+from repro.serve.coordinator import QueryService, spawn_service
+from repro.serve.fleet import FleetManager, probe_worker
+from repro.serve.session import (
+    ADMITTED,
+    CANCELLED,
+    DONE,
+    FAILED,
+    PLANNING,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    TIMED_OUT,
+    QuerySession,
+)
+
+__all__ = [
+    "ADMITTED",
+    "CANCELLED",
+    "ChaosEvent",
+    "ChaosHarness",
+    "DONE",
+    "FAILED",
+    "FleetManager",
+    "PLANNING",
+    "QUEUED",
+    "QueryService",
+    "QuerySession",
+    "RUNNING",
+    "ServiceClient",
+    "TERMINAL_STATES",
+    "TIMED_OUT",
+    "arm_fault",
+    "probe_worker",
+    "spawn_service",
+]

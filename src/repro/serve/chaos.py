@@ -1,0 +1,123 @@
+"""Chaos harness: scripted worker fault schedules against a live fleet.
+
+The worker daemon's fault hooks (``kill`` / ``stall`` / ``drop`` /
+``slow``, :mod:`repro.mapreduce.worker`) originally armed only at
+process start.  The harness arms them **over the wire** — a ``("fault",
+mode, after_tasks, delay_s)`` message — so one test can run a whole
+schedule ("kill worker A after its 3rd task, slow worker B by 200 ms
+from its 1st") against daemons that are mid-service, which is exactly
+the situation the serve-layer isolation guarantee is about:
+
+* a killed/stalled worker must cost only retries, never results;
+* a slowed worker must burn only the *slow query's* deadline budget;
+* concurrent queries that never touched the faulty worker must finish
+  bit-identical to a serial run.
+
+Events with ``at_s > 0`` are armed from a timer thread; ``at_s == 0``
+events arm synchronously in :meth:`ChaosHarness.start`, so a test that
+needs the fault in place before submitting queries can rely on it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.mapreduce import wire
+
+
+def arm_fault(
+    addr: str,
+    mode: Optional[str],
+    after_tasks: int = 1,
+    delay_s: float = 0.0,
+    timeout_s: float = 2.0,
+) -> bool:
+    """Arm (or, with ``mode=None``, clear) a fault on one live daemon.
+
+    Returns whether the daemon acknowledged; an unreachable daemon is
+    ``False``, not an exception — chaos schedules keep going when an
+    earlier event already killed the target.
+    """
+    try:
+        sock = wire.connect(addr, timeout=timeout_s)
+    except (OSError, wire.WireError):
+        return False
+    try:
+        sock.settimeout(timeout_s)
+        wire.send_frame(sock, ("fault", mode, after_tasks, delay_s))
+        reply = wire.recv_frame(sock)
+        return isinstance(reply, tuple) and bool(reply) and reply[0] == "fault-armed"
+    except (OSError, wire.WireError):
+        return False
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: arm ``mode`` on ``addr`` at ``at_s``."""
+
+    addr: str
+    mode: str
+    after_tasks: int = 1
+    delay_s: float = 0.0  # slow-mode per-task sleep
+    at_s: float = 0.0  # seconds after ChaosHarness.start()
+
+
+class ChaosHarness:
+    """Runs a :class:`ChaosEvent` schedule against live worker daemons."""
+
+    def __init__(self, schedule: Sequence[ChaosEvent]) -> None:
+        self.schedule = sorted(schedule, key=lambda event: event.at_s)
+        self.armed: List[ChaosEvent] = []
+        self.failed: List[ChaosEvent] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def start(self) -> "ChaosHarness":
+        """Arm immediate events now; schedule the rest on a timer thread."""
+        pending: List[ChaosEvent] = []
+        for event in self.schedule:
+            if event.at_s <= 0:
+                self._arm(event)
+            else:
+                pending.append(event)
+        if pending:
+            self._thread = threading.Thread(
+                target=self._run, args=(pending,), daemon=True, name="repro-chaos"
+            )
+            self._thread.start()
+        return self
+
+    def _run(self, pending: Sequence[ChaosEvent]) -> None:
+        started = time.monotonic()
+        for event in pending:
+            delay = event.at_s - (time.monotonic() - started)
+            if delay > 0 and self._stop.wait(delay):
+                return
+            self._arm(event)
+
+    def _arm(self, event: ChaosEvent) -> None:
+        ok = arm_fault(
+            event.addr, event.mode, event.after_tasks, event.delay_s
+        )
+        (self.armed if ok else self.failed).append(event)
+
+    def stop(self) -> None:
+        """Stop the timer thread; already-armed faults stay armed."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def wait(self, timeout_s: float = 30.0) -> bool:
+        """Block until every scheduled event was attempted."""
+        if self._thread is None:
+            return True
+        self._thread.join(timeout=timeout_s)
+        return not self._thread.is_alive()

@@ -1,0 +1,628 @@
+"""The ``repro serve`` coordinator daemon.
+
+One long-lived TCP server (same frame protocol as the worker daemons:
+:mod:`repro.mapreduce.wire`) accepting queries from many clients:
+
+  ==========================================  ===============================
+  ``("hello", info)``                          handshake; replies
+                                               ``("hello-ack", info)``.
+  ``("submit", spec_dict)``                    admit a query; replies
+                                               ``("submitted", query_id)`` or
+                                               ``("rejected", error_dict)``.
+  ``("status", query_id)``                     lifecycle snapshot.
+  ``("result", query_id, timeout_s)``          block (bounded) for the
+                                               terminal payload.
+  ``("cancel", query_id, reason)``             fire the query's token.
+  ``("fleet", None | "h:p,h:p")``              read or re-point the worker
+                                               fleet (drain/dial live).
+  ``("stats",)``                               service counters.
+  ``("shutdown",)``                            stop the daemon.
+  ==========================================  ===============================
+
+Robustness invariants (argued in DESIGN.md, enforced by tests):
+
+* **Bounded admission** — at most ``max_queue`` queries wait and
+  ``max_concurrent`` run; query ``max_queue + 1`` is rejected in O(1)
+  with a structured ``admission-rejected`` error, before any planning
+  work happens.  An overloaded service stays responsive.
+* **Session isolation** — every query runs on its own thread with its
+  own :class:`~repro.mapreduce.runtime.SimulatedCluster` (own HDFS
+  namespace), its own knob scope
+  (:class:`~repro.mapreduce.config.settings_scope`), and its own
+  cancellation token (:class:`~repro.mapreduce.cancel.cancel_scope`).
+  Shared state is limited to immutable relations, the planning cache
+  (serialized by ``_planning_lock``), and the worker fleet — whose
+  dispatcher already folds results per batch.
+* **Deadlines/cancellation are cooperative and terminal** — the token
+  fires once; every layer observes it at a work-item boundary; in-flight
+  remote tasks of a dead query are abandoned, not retried; the session
+  reaches exactly one terminal state and ``done`` is set exactly once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import AdmissionRejected, ServiceError, error_to_wire
+from repro.mapreduce import wire
+from repro.mapreduce.cancel import cancel_scope, check_cancelled
+from repro.mapreduce.config import (
+    EXEC_BACKEND_ENV,
+    EXEC_WORKERS_ENV,
+    MAP_SHARDS_ENV,
+    STRICT_FLEET_ENV,
+    TASK_RETRIES_ENV,
+    WORKER_CONNECT_TIMEOUT_ENV,
+    WORKER_HEARTBEAT_ENV,
+    ClusterConfig,
+    execution_settings,
+    settings_scope,
+)
+from repro.serve.fleet import FleetManager
+from repro.serve.session import (
+    ADMITTED,
+    DONE,
+    PLANNING,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    QuerySession,
+)
+
+#: Knobs a query may override for its own session.  The fleet address
+#: list is deliberately absent: the fleet is service-owned state (the
+#: ``fleet`` endpoint changes it for everyone); a per-query private
+#: fleet would break the single-live-backend reconfiguration model.
+ALLOWED_KNOBS = frozenset(
+    {
+        EXEC_BACKEND_ENV,
+        EXEC_WORKERS_ENV,
+        TASK_RETRIES_ENV,
+        WORKER_HEARTBEAT_ENV,
+        WORKER_CONNECT_TIMEOUT_ENV,
+        MAP_SHARDS_ENV,
+        STRICT_FLEET_ENV,
+    }
+)
+
+WORKLOADS = ("mobile", "tpch")
+
+
+class QueryService:
+    """The coordinator: admission queue, session threads, fleet, stats."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrent: int = 4,
+        max_queue: int = 16,
+        default_deadline_s: Optional[float] = None,
+        config: Optional[ClusterConfig] = None,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.default_deadline_s = default_deadline_s
+        self._config = config or ClusterConfig()
+        self.fleet = FleetManager()
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self.host, self.port = self._listener.getsockname()[:2]
+
+        self._sessions: Dict[str, QuerySession] = {}
+        self._queue: Deque[QuerySession] = deque()
+        self._running = 0
+        self._cond = threading.Condition()
+        self._closing = False
+        self._ids = itertools.count(1)
+        #: Planning shares process-global caches (statistics LRU, disk
+        #: store); serializing it keeps those structures single-writer
+        #: and gives executing queries the cores.
+        self._planning_lock = threading.Lock()
+        self._connections: list = []
+        self._conn_lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "rejected": 0,
+            "done": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "timed_out": 0,
+        }
+        self._stats_lock = threading.Lock()
+        self._relations_cache: Dict[Tuple[str, int, int], dict] = {}
+        self._relations_lock = threading.Lock()
+        self._admitter = threading.Thread(
+            target=self._admission_loop, daemon=True, name="repro-serve-admit"
+        )
+        self._admitter.start()
+        self._accept_thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept loop; returns when :meth:`stop` closes the listener."""
+        while True:
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - exotic socket stack
+                pass
+            with self._conn_lock:
+                if self._closing:
+                    conn.close()
+                    return
+                self._connections.append(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                daemon=True,
+                name="repro-serve-conn",
+            ).start()
+
+    def start(self) -> "QueryService":
+        """Serve on a daemon thread (in-process tests); returns self."""
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, daemon=True, name="repro-serve-accept"
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Close the listener, cancel live sessions, wake everything."""
+        with self._cond:
+            self._closing = True
+            queued = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        for session in queued:
+            session.token.cancel("service shutting down")
+            session.finish_from_token()
+        for session in list(self._sessions.values()):
+            if session.state not in TERMINAL_STATES:
+                session.token.cancel("service shutting down")
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        self._close_socket(self._listener)
+        for conn in connections:
+            self._close_socket(conn)
+
+    @staticmethod
+    def _close_socket(sock: socket.socket) -> None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    # -- admission -------------------------------------------------------
+
+    def submit(self, spec: dict) -> QuerySession:
+        """Validate + enqueue one query; raises ``AdmissionRejected``.
+
+        Validation is deliberately cheap (type/enum checks only): load
+        shedding must cost O(1) however overloaded the service is.
+        """
+        if not isinstance(spec, dict):
+            raise AdmissionRejected("submit payload must be a dict")
+        sql = spec.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise AdmissionRejected("submit requires a non-empty 'sql' string")
+        workload = spec.get("workload", "mobile")
+        if workload not in WORKLOADS:
+            raise AdmissionRejected(
+                f"unknown workload {workload!r}",
+                details={"allowed": list(WORKLOADS)},
+            )
+        method = spec.get("method", "ours")
+        from repro.cli import PLANNERS
+
+        if method not in PLANNERS:
+            raise AdmissionRejected(
+                f"unknown method {method!r}",
+                details={"allowed": sorted(PLANNERS)},
+            )
+        knobs = spec.get("knobs") or {}
+        if not isinstance(knobs, dict):
+            raise AdmissionRejected("'knobs' must be a dict")
+        bad = sorted(set(knobs) - ALLOWED_KNOBS)
+        if bad:
+            raise AdmissionRejected(
+                f"knob(s) not overridable per query: {', '.join(bad)}",
+                details={"rejected": bad, "allowed": sorted(ALLOWED_KNOBS)},
+            )
+        deadline_s = spec.get("deadline_s", self.default_deadline_s)
+        if deadline_s is not None:
+            try:
+                deadline_s = float(deadline_s)
+            except (TypeError, ValueError):
+                raise AdmissionRejected("'deadline_s' must be a number")
+            if deadline_s <= 0:
+                raise AdmissionRejected("'deadline_s' must be > 0")
+
+        with self._cond:
+            if self._closing:
+                raise AdmissionRejected("service is shutting down")
+            if len(self._queue) >= self.max_queue:
+                with self._stats_lock:
+                    self.stats["rejected"] += 1
+                raise AdmissionRejected(
+                    "admission queue is full",
+                    details={
+                        "queued": len(self._queue),
+                        "running": self._running,
+                        "max_queue": self.max_queue,
+                        "max_concurrent": self.max_concurrent,
+                    },
+                )
+            session = QuerySession(
+                query_id=f"q{next(self._ids)}",
+                sql=sql,
+                workload=workload,
+                volume=int(spec.get("volume", 0) or 0),
+                seed=int(spec.get("seed", 0) or 0),
+                method=method,
+                deadline_s=deadline_s,
+                knobs=knobs,
+            )
+            self._sessions[session.query_id] = session
+            self._queue.append(session)
+            with self._stats_lock:
+                self.stats["submitted"] += 1
+            self._cond.notify_all()
+        return session
+
+    def _admission_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._closing and not self._admittable():
+                    self._cond.wait(0.1)
+                    self._reap_queued_locked()
+                if self._closing:
+                    return
+                session = self._queue.popleft()
+                self._running += 1
+            if session.token.fired() is not None:
+                # Died while queued (cancel or deadline): terminal now,
+                # never spends a concurrency slot on planning.
+                session.finish_from_token()
+                self._count_terminal(session)
+                self._release_slot()
+                continue
+            session.transition(ADMITTED)
+            threading.Thread(
+                target=self._run_session,
+                args=(session,),
+                daemon=True,
+                name=f"repro-serve-{session.query_id}",
+            ).start()
+
+    def _admittable(self) -> bool:
+        return bool(self._queue) and self._running < self.max_concurrent
+
+    def _reap_queued_locked(self) -> None:
+        """Terminalize queued sessions whose token already fired, so a
+        cancelled/expired query never waits for a concurrency slot just
+        to die.  Caller holds ``self._cond``."""
+        fired = [s for s in self._queue if s.token.fired() is not None]
+        for session in fired:
+            self._queue.remove(session)
+        for session in fired:
+            session.finish_from_token()
+            self._count_terminal(session)
+
+    def _release_slot(self) -> None:
+        with self._cond:
+            self._running -= 1
+            self._cond.notify_all()
+
+    def _count_terminal(self, session: QuerySession) -> None:
+        key = {
+            "DONE": "done",
+            "FAILED": "failed",
+            "CANCELLED": "cancelled",
+            "TIMED_OUT": "timed_out",
+        }.get(session.state)
+        if key:
+            with self._stats_lock:
+                self.stats[key] += 1
+
+    # -- session execution ----------------------------------------------
+
+    def _relations(self, workload: str, volume: int, seed: int) -> dict:
+        from repro.workloads import workload_relations
+
+        key = (workload, volume, seed)
+        with self._relations_lock:
+            relations = self._relations_cache.get(key)
+            if relations is None:
+                relations = workload_relations(workload, volume, seed)
+                self._relations_cache[key] = relations
+        return relations
+
+    def _session_overrides(self, session: QuerySession) -> Dict[str, str]:
+        overrides = dict(session.knobs)
+        with settings_scope(overrides):
+            resolved = execution_settings()
+        if resolved.backend == "process":
+            # The fork-pool backend re-forks per batch and tears pools
+            # down globally — unsafe under concurrent sessions.  Threads
+            # give the same bit-identical results; pin quietly.
+            overrides[EXEC_BACKEND_ENV] = "thread"
+        return overrides
+
+    def _run_session(self, session: QuerySession) -> None:
+        from repro.cli import PLANNERS
+        from repro.core.executor import PlanExecutor
+        from repro.mapreduce.runtime import SimulatedCluster
+        from repro.relational.sql import parse_join_query
+
+        try:
+            overrides = self._session_overrides(session)
+            with settings_scope(overrides), cancel_scope(session.token):
+                session.transition(PLANNING)
+                check_cancelled()
+                relations = self._relations(
+                    session.workload, session.volume, session.seed
+                )
+                with self._planning_lock:
+                    query = parse_join_query(
+                        session.sql, relations, name=session.query_id
+                    )
+                    planner = PLANNERS[session.method](self._config)
+                    plan = planner.plan(query)
+                check_cancelled()
+                session.transition(RUNNING)
+                outcome = PlanExecutor(SimulatedCluster(self._config)).execute(
+                    plan, query
+                )
+            report = outcome.report
+            session.complete(
+                {
+                    "columns": list(outcome.result.schema.names),
+                    "rows": [tuple(row) for row in outcome.result.rows],
+                    "output_records": report.output_records,
+                    "makespan_s": report.makespan_s,
+                    "merge_time_s": report.merge_time_s,
+                    "num_jobs": len(report.job_metrics),
+                }
+            )
+        except BaseException as exc:  # noqa: BLE001 - classified by taxonomy
+            session.fail(exc)
+        finally:
+            self._count_terminal(session)
+            self._release_slot()
+
+    # -- endpoints -------------------------------------------------------
+
+    def _session_or_error(self, query_id: object) -> QuerySession:
+        session = self._sessions.get(query_id) if isinstance(query_id, str) else None
+        if session is None:
+            raise ServiceError(
+                f"unknown query id {query_id!r}",
+                details={"known": sorted(self._sessions)[-8:]},
+            )
+        return session
+
+    def status(self, query_id: str) -> dict:
+        return self._session_or_error(query_id).snapshot()
+
+    def cancel(self, query_id: str, reason: str = "client cancel") -> dict:
+        session = self._session_or_error(query_id)
+        session.token.cancel(reason)
+        with self._cond:
+            if session.state == QUEUED and session in self._queue:
+                self._queue.remove(session)
+            else:
+                session = None  # running: its own thread terminalizes it
+        if session is not None:
+            session.finish_from_token()
+            self._count_terminal(session)
+            return session.snapshot()
+        return self.status(query_id)
+
+    def result(self, query_id: str, timeout_s: float = 60.0) -> dict:
+        """Terminal payload, blocking up to ``timeout_s``.
+
+        A non-terminal reply (``terminal: False``) is a *poll timeout*,
+        not an error — clients loop.  Errors ride in the snapshot's
+        ``error`` field as taxonomy dicts.
+        """
+        session = self._session_or_error(query_id)
+        session.done.wait(max(0.0, min(float(timeout_s), 300.0)))
+        payload = session.snapshot()
+        if session.state == DONE:
+            payload["result"] = session.result
+        return payload
+
+    def service_stats(self) -> dict:
+        from repro.mapreduce.backend import _BACKENDS, DistributedBackend
+
+        with self._cond:
+            queued = len(self._queue)
+            running = self._running
+        with self._stats_lock:
+            counters = dict(self.stats)
+        in_flight = sum(
+            backend.tasks_in_flight
+            for backend in _BACKENDS.values()
+            if isinstance(backend, DistributedBackend)
+        )
+        counters.update(
+            {
+                "queued": queued,
+                "running": running,
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+                "fleet": list(self.fleet.addrs),
+                "tasks_in_flight": in_flight,
+            }
+        )
+        return counters
+
+    # -- connection handling ---------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    message = wire.recv_frame(conn)
+                except wire.WireError:
+                    return
+                reply = self._handle(message)
+                if reply is None:
+                    return
+                try:
+                    wire.send_frame(conn, reply)
+                except OSError:
+                    return
+        finally:
+            with self._conn_lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+            self._close_socket(conn)
+
+    def _handle(self, message: object) -> Optional[Tuple]:
+        if not isinstance(message, tuple) or not message:
+            return ("error", error_to_wire(ServiceError("malformed message")))
+        kind = message[0]
+        try:
+            if kind == "hello":
+                return ("hello-ack", wire.peer_info())
+            if kind == "ping":
+                return ("pong", message[1] if len(message) > 1 else 0)
+            if kind == "submit":
+                session = self.submit(message[1])
+                return ("submitted", session.query_id)
+            if kind == "status":
+                return ("status", self.status(message[1]))
+            if kind == "result":
+                timeout_s = message[2] if len(message) > 2 else 60.0
+                return ("result", self.result(message[1], timeout_s))
+            if kind == "cancel":
+                reason = message[2] if len(message) > 2 else "client cancel"
+                return ("cancelled", self.cancel(message[1], str(reason)))
+            if kind == "fleet":
+                raw = message[1] if len(message) > 1 else None
+                if raw is None:
+                    return ("fleet", {"addrs": list(self.fleet.addrs)})
+                delta = self.fleet.set_addrs(str(raw))
+                delta["addrs"] = list(self.fleet.addrs)
+                return ("fleet", delta)
+            if kind == "stats":
+                return ("stats", self.service_stats())
+            if kind == "shutdown":
+                threading.Thread(target=self.stop, daemon=True).start()
+                return None
+            return (
+                "error",
+                error_to_wire(ServiceError(f"unknown message kind {kind!r}")),
+            )
+        except AdmissionRejected as exc:
+            return ("rejected", error_to_wire(exc))
+        except ServiceError as exc:
+            return ("error", error_to_wire(exc))
+        except (ValueError, IndexError, TypeError) as exc:
+            return (
+                "error",
+                error_to_wire(ServiceError(f"malformed request: {exc}")),
+            )
+
+
+# ----------------------------------------------------------------------
+# process helpers (CLI + tests)
+# ----------------------------------------------------------------------
+
+
+def serve(
+    host: str,
+    port: int,
+    max_concurrent: int = 4,
+    max_queue: int = 16,
+    default_deadline_s: Optional[float] = None,
+) -> int:
+    """CLI entry: run one coordinator daemon until interrupted.
+
+    Prints ``repro-serve listening on HOST:PORT`` (flushed) before
+    serving, so spawners using ``--port 0`` can read the assigned port.
+    """
+    service = QueryService(
+        host=host,
+        port=port,
+        max_concurrent=max_concurrent,
+        max_queue=max_queue,
+        default_deadline_s=default_deadline_s,
+    )
+    print(f"repro-serve listening on {service.address}", flush=True)
+    if service.fleet.addrs:
+        print(f"repro-serve fleet: {','.join(service.fleet.addrs)}", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - operator ctrl-C
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
+def spawn_service(extra_args: Tuple[str, ...] = (), env_extra: Optional[dict] = None):
+    """Spawn one ``repro serve`` subprocess on an OS-assigned port.
+
+    Returns ``(proc, addr)`` with the address read from the banner —
+    the serve-side mirror of
+    :func:`repro.mapreduce.worker.spawn_daemon`.  The child inherits
+    this checkout on ``PYTHONPATH``; pass the fleet via
+    ``--workers-addrs`` in ``extra_args`` or ``env_extra``.
+    """
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    env = os.environ.copy()
+    src_dir = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = str(src_dir) + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_extra or {})
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    if "listening on" not in banner:
+        proc.kill()
+        proc.wait()
+        raise RuntimeError(f"query service failed to start: {banner!r}")
+    return proc, banner.rsplit(" ", 1)[-1].strip()

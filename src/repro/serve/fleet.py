@@ -1,0 +1,131 @@
+"""Elastic worker fleet management under a live coordinator.
+
+Two jobs live here:
+
+* :func:`probe_worker` — one health probe: TCP connect, hello
+  handshake, ping round-trip.  This is what ``repro worker list`` /
+  ``repro worker status`` print, and what the service's ``fleet``
+  endpoint reports.
+* :class:`FleetManager` — the single writer of the process's worker
+  address set.  ``set_addrs`` re-points ``REPRO_WORKERS_ADDRS`` (the
+  source of truth every session's next batch reads) *and* reconfigures
+  any live :class:`~repro.mapreduce.backend.DistributedBackend` in
+  place: removed workers drain (their in-flight task finishes, then
+  the handle closes), added workers become dial-eligible with fresh
+  backoff.  Running queries keep their results bit-identical — a
+  drained worker's completed work is already folded, and anything it
+  would have pulled goes to the survivors.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.mapreduce import wire
+from repro.mapreduce.config import WORKERS_ADDRS_ENV, parse_workers_addrs
+
+
+def probe_worker(addr: str, timeout_s: float = 1.0) -> dict:
+    """Handshake + heartbeat probe of one ``host:port`` worker daemon.
+
+    Never raises: unreachable/mismatched workers come back as a dict
+    with ``alive: False`` and the failure in ``error``, so probing a
+    half-dead fleet reports every member instead of stopping at the
+    first corpse.
+    """
+    report: dict = {
+        "addr": addr,
+        "alive": False,
+        "compatible": False,
+        "rtt_ms": None,
+        "info": None,
+        "error": None,
+    }
+    started = time.perf_counter()
+    try:
+        sock = wire.connect(addr, timeout=timeout_s)
+    except (OSError, wire.WireError) as exc:
+        report["error"] = f"connect failed: {exc}"
+        return report
+    try:
+        sock.settimeout(timeout_s)
+        wire.send_frame(sock, ("hello", wire.peer_info()))
+        reply = wire.recv_frame(sock)
+        if not (isinstance(reply, tuple) and reply and reply[0] == "hello-ack"):
+            report["error"] = f"bad handshake reply: {reply!r}"
+            return report
+        info = reply[1]
+        report["info"] = info
+        report["compatible"] = wire.compatible(info)
+        # Heartbeat round-trip: the same ping the coordinator's liveness
+        # thread sends, so "status says alive" and "backend keeps it"
+        # measure the same thing.
+        wire.send_frame(sock, ("ping", 0))
+        pong = wire.recv_frame(sock)
+        if not (isinstance(pong, tuple) and pong and pong[0] == "pong"):
+            report["error"] = f"bad ping reply: {pong!r}"
+            return report
+        report["alive"] = True
+        report["rtt_ms"] = (time.perf_counter() - started) * 1000.0
+        if not report["compatible"]:
+            report["error"] = "version/format mismatch (worker refused for work)"
+        return report
+    except (OSError, wire.WireError) as exc:
+        report["error"] = f"probe failed: {exc}"
+        return report
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
+class FleetManager:
+    """Owns the live worker address set for a ``repro serve`` process."""
+
+    def __init__(self, addrs: Optional[Tuple[str, ...]] = None) -> None:
+        if addrs is None:
+            addrs = parse_workers_addrs(os.environ.get(WORKERS_ADDRS_ENV, ""))
+        self._addrs: Tuple[str, ...] = tuple(addrs)
+        if self._addrs:
+            os.environ[WORKERS_ADDRS_ENV] = ",".join(self._addrs)
+
+    @property
+    def addrs(self) -> Tuple[str, ...]:
+        return self._addrs
+
+    def set_addrs(self, raw: str) -> Dict[str, List[str]]:
+        """Re-point the fleet at ``raw`` (``host:port,host:port``).
+
+        Updates the environment (which running sessions re-read at
+        their next batch — per-session knob scopes may not override the
+        fleet, so every session converges) and reconfigures any live
+        distributed backend immediately.  Returns the added/removed/
+        kept address sets.
+        """
+        addrs = parse_workers_addrs(raw)
+        self._addrs = addrs
+        if addrs:
+            os.environ[WORKERS_ADDRS_ENV] = ",".join(addrs)
+        else:
+            os.environ.pop(WORKERS_ADDRS_ENV, None)
+        return self._reconfigure_live_backends(addrs)
+
+    def _reconfigure_live_backends(self, addrs: Tuple[str, ...]) -> Dict[str, List[str]]:
+        from repro.mapreduce.backend import _BACKENDS, DistributedBackend
+
+        delta: Dict[str, List[str]] = {
+            "added": [],
+            "removed": [],
+            "kept": list(addrs),
+        }
+        for backend in list(_BACKENDS.values()):
+            if isinstance(backend, DistributedBackend):
+                delta = backend.reconfigure(addrs)
+        return delta
+
+    def probe_all(self, timeout_s: float = 1.0) -> List[dict]:
+        """Probe every fleet member (see :func:`probe_worker`)."""
+        return [probe_worker(addr, timeout_s=timeout_s) for addr in self._addrs]

@@ -1,0 +1,161 @@
+"""Query sessions: one submitted query's lifecycle inside the service.
+
+State machine::
+
+    QUEUED -> ADMITTED -> PLANNING -> RUNNING -> DONE
+       \\         \\           \\          \\-----> FAILED
+        \\         \\           \\---------------> CANCELLED
+         \\---------\\---------------------------> TIMED_OUT
+
+Every transition is validated against :data:`TRANSITIONS` under the
+session lock, so a race between the session thread finishing and a
+``cancel`` request arriving resolves to exactly one terminal state —
+the first writer wins, the loser's transition is a no-op (terminal
+states accept no successors).  ``done`` is an :class:`threading.Event`
+set exactly when a terminal state is entered; ``result`` clients block
+on it instead of polling state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Mapping, Optional
+
+from repro.errors import (
+    DeadlineExceeded,
+    QueryCancelled,
+    ServiceError,
+    error_to_wire,
+)
+from repro.mapreduce.cancel import CancellationToken
+
+QUEUED = "QUEUED"
+ADMITTED = "ADMITTED"
+PLANNING = "PLANNING"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+TIMED_OUT = "TIMED_OUT"
+
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED, TIMED_OUT})
+
+#: state -> states it may legally move to.  Terminal states accept
+#: nothing: the first terminal transition wins, later ones no-op.
+TRANSITIONS: Dict[str, frozenset] = {
+    QUEUED: frozenset({ADMITTED, CANCELLED, TIMED_OUT, FAILED}),
+    ADMITTED: frozenset({PLANNING, CANCELLED, TIMED_OUT, FAILED}),
+    PLANNING: frozenset({RUNNING, DONE, FAILED, CANCELLED, TIMED_OUT}),
+    RUNNING: frozenset({DONE, FAILED, CANCELLED, TIMED_OUT}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+    TIMED_OUT: frozenset(),
+}
+
+
+class QuerySession:
+    """One query's identity, knobs, cancellation token, and lifecycle."""
+
+    def __init__(
+        self,
+        query_id: str,
+        sql: str,
+        workload: str = "mobile",
+        volume: int = 0,
+        seed: int = 0,
+        method: str = "ours",
+        deadline_s: Optional[float] = None,
+        knobs: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.query_id = query_id
+        self.sql = sql
+        self.workload = workload
+        self.volume = volume
+        self.seed = seed
+        self.method = method
+        self.deadline_s = deadline_s
+        self.knobs: Dict[str, str] = {
+            str(k): str(v) for k, v in (knobs or {}).items()
+        }
+        #: The deadline budget starts at *submission*, so time spent
+        #: queued counts against it — a shed-worthy query must not gain
+        #: extra life by waiting.
+        self.token = CancellationToken(deadline_s=deadline_s, label=query_id)
+        self.state = QUEUED
+        self.error: Optional[dict] = None  # wire-shaped taxonomy dict
+        self.result: Optional[dict] = None
+        self.done = threading.Event()
+        self.submitted_at = time.monotonic()
+        self.state_times: Dict[str, float] = {QUEUED: 0.0}
+        self._lock = threading.Lock()
+
+    # -- transitions -----------------------------------------------------
+
+    def transition(self, new_state: str) -> bool:
+        """Move to ``new_state`` if legal; returns whether it happened."""
+        with self._lock:
+            if new_state not in TRANSITIONS[self.state]:
+                return False
+            self.state = new_state
+            self.state_times[new_state] = time.monotonic() - self.submitted_at
+        if new_state in TERMINAL_STATES:
+            self.done.set()
+        return True
+
+    def complete(self, result: dict) -> bool:
+        """Terminal success — unless cancel/deadline already won the race
+        (results computed after the fire are discarded, not surfaced)."""
+        fired = self.token.fired()
+        if fired is not None:
+            return self.finish_from_token()
+        with self._lock:
+            if DONE not in TRANSITIONS[self.state]:
+                return False
+            self.result = result
+        return self.transition(DONE)
+
+    def fail(self, exc: BaseException) -> bool:
+        """Terminal failure, classified through the error taxonomy."""
+        if isinstance(exc, QueryCancelled):
+            target = CANCELLED
+        elif isinstance(exc, DeadlineExceeded):
+            target = TIMED_OUT
+        else:
+            target = FAILED
+        with self._lock:
+            if target not in TRANSITIONS[self.state]:
+                return False
+            self.error = error_to_wire(exc)
+        return self.transition(target)
+
+    def finish_from_token(self) -> bool:
+        """Terminalize a session whose token fired (queue reap, post-run
+        race): same classification :meth:`fail` would produce."""
+        fired = self.token.fired()
+        if fired == "cancelled":
+            return self.fail(QueryCancelled(f"{self.query_id}: cancelled"))
+        if fired == "deadline":
+            return self.fail(DeadlineExceeded(f"{self.query_id}: deadline exceeded"))
+        return self.fail(ServiceError(f"{self.query_id}: session aborted"))
+
+    # -- observation -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Status-endpoint view: everything but the result rows."""
+        with self._lock:
+            state = self.state
+            error = self.error
+            state_times = dict(self.state_times)
+        remaining = self.token.deadline_s
+        return {
+            "query_id": self.query_id,
+            "state": state,
+            "terminal": state in TERMINAL_STATES,
+            "error": error,
+            "deadline_s": self.deadline_s,
+            "deadline_remaining_s": remaining,
+            "state_times": state_times,
+            "age_s": time.monotonic() - self.submitted_at,
+        }

@@ -32,6 +32,31 @@ from repro.workloads.tpch import (
     tpch_query_features,
 )
 
+def workload_relations(workload: str, volume: int, seed: int):
+    """Base relations addressable from the SQL front end, by name.
+
+    Shared by the CLI ``sql`` command and the ``repro serve`` query
+    service (which caches the result per ``(workload, volume, seed)`` —
+    relations are immutable once generated).
+    """
+    if workload == "mobile":
+        from repro.utils import GB
+        from repro.workloads.mobile import ROWS_3REL, generate_mobile_calls
+
+        rows = ROWS_3REL.get(volume, 140)
+        calls = generate_mobile_calls(
+            rows, num_stations=25, seed=seed,
+            bytes_per_row=(volume * GB) // rows if volume else 0,
+            name=f"calls{volume}gb",
+        )
+        return {"table": calls, "calls": calls}
+    if workload == "tpch":
+        from repro.workloads.tpch import TPCHDatabase
+
+        return TPCHDatabase(volume_gb=volume, seed=seed).tables()
+    raise ValueError(f"unknown workload {workload!r} (mobile | tpch)")
+
+
 __all__ = [
     "DEFAULT_STAYOVER",
     "MOBILE_QUERY_IDS",
@@ -55,5 +80,6 @@ __all__ = [
     "tpch_benchmark_query",
     "tpch_query_features",
     "uniform_relation",
+    "workload_relations",
     "zipf_relation",
 ]

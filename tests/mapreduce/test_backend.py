@@ -125,6 +125,25 @@ class TestDistributedSettings:
         # Only the well-formed, in-range, deduplicated survivors remain.
         assert settings.workers_addrs == ("127.0.0.1:7601", "h2:8080")
 
+    def test_dropped_entries_are_named_once_on_stderr(self, monkeypatch, capsys):
+        """A fleet typo must be diagnosable: every malformed entry is
+        named in a stderr warning exactly once per process, not silently
+        skipped and not repeated on every settings re-read."""
+        from repro.mapreduce import config
+
+        monkeypatch.setattr(config, "_warned_addr_entries", set())
+        monkeypatch.setenv(
+            "REPRO_WORKERS_ADDRS", "bad-entry:notaport,127.0.0.1:7601"
+        )
+        settings = execution_settings()
+        assert settings.workers_addrs == ("127.0.0.1:7601",)
+        err = capsys.readouterr().err
+        assert "bad-entry:notaport" in err
+        assert "REPRO_WORKERS_ADDRS" in err
+        # Settings are re-read per phase; the warning must not repeat.
+        execution_settings()
+        assert "bad-entry:notaport" not in capsys.readouterr().err
+
     def test_all_malformed_degrades_to_serial_selection(self, monkeypatch):
         monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
         monkeypatch.setenv("REPRO_WORKERS_ADDRS", "not-an-addr,also:bad:extra:")
@@ -200,7 +219,10 @@ class TestDistributedSettings:
         monkeypatch.setenv("REPRO_WORKER_HEARTBEAT_S", "0")
         assert execution_settings().worker_heartbeat_s == 0.05
 
-    def test_backend_instances_keyed_by_addrs(self, monkeypatch):
+    def test_changed_addrs_reconfigure_the_live_backend(self, monkeypatch):
+        """A fleet change re-points the ONE live coordinator (drain +
+        dial) instead of building a cold twin — the elasticity contract
+        ``repro serve`` relies on."""
         monkeypatch.setenv("REPRO_EXEC_BACKEND", "distributed")
         monkeypatch.setenv("REPRO_WORKERS_ADDRS", "127.0.0.1:7601")
         first = get_backend()
@@ -208,8 +230,16 @@ class TestDistributedSettings:
         assert get_backend() is first
         monkeypatch.setenv("REPRO_WORKERS_ADDRS", "127.0.0.1:7602")
         second = get_backend()
-        assert second.name == "distributed"
-        assert second is not first  # a new pool is a new coordinator
+        assert second is first  # same coordinator, re-pointed in place
+        assert second.addrs == ("127.0.0.1:7602",)
+
+    def test_timing_knobs_still_key_distinct_instances(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "distributed")
+        monkeypatch.setenv("REPRO_WORKERS_ADDRS", "127.0.0.1:7601")
+        first = get_backend()
+        monkeypatch.setenv("REPRO_WORKER_HEARTBEAT_S", "0.31")
+        second = get_backend()
+        assert second is not first  # different liveness window, new pool
 
 
 class TestOrdering:

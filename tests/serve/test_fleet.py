@@ -1,0 +1,138 @@
+"""Fleet health probes and live reconfiguration.
+
+Covers the elastic-fleet half of the serve tentpole: ``probe_worker``
+(the primitive behind ``repro worker list`` / ``repro worker status``),
+:class:`FleetManager` re-pointing both the environment *and* any live
+:class:`DistributedBackend` instance, and the CLI exit codes operators
+script against.
+"""
+
+import socket
+
+import pytest
+
+from repro.cli import main
+from repro.mapreduce.backend import close_backends, get_backend
+from repro.mapreduce.config import WORKERS_ADDRS_ENV
+from repro.mapreduce.worker import WorkerServer
+from repro.serve.fleet import FleetManager, probe_worker
+
+
+@pytest.fixture(autouse=True)
+def _fresh_backends():
+    close_backends()
+    yield
+    close_backends()
+
+
+@pytest.fixture
+def worker():
+    server = WorkerServer().start()
+    yield server
+    server.stop()
+
+
+def free_port_addr() -> str:
+    """An address nothing listens on (bound once, then released)."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"127.0.0.1:{port}"
+
+
+class TestProbeWorker:
+    def test_live_worker(self, worker):
+        report = probe_worker(worker.address)
+        assert report["alive"] is True
+        assert report["compatible"] is True
+        assert report["error"] is None
+        assert report["rtt_ms"] > 0
+        assert report["info"]["repro"]
+
+    def test_dead_address(self):
+        report = probe_worker(free_port_addr(), timeout_s=0.5)
+        assert report["alive"] is False
+        assert report["rtt_ms"] is None
+        assert "connect failed" in report["error"]
+
+    def test_malformed_address_never_raises(self):
+        report = probe_worker("not-an-addr", timeout_s=0.5)
+        assert report["alive"] is False
+        assert report["error"]
+
+
+class TestFleetManager:
+    def test_set_addrs_repoints_env(self, monkeypatch, worker):
+        monkeypatch.delenv(WORKERS_ADDRS_ENV, raising=False)
+        fleet = FleetManager()
+        assert fleet.addrs == ()
+        fleet.set_addrs(worker.address)
+        assert fleet.addrs == (worker.address,)
+        import os
+
+        assert os.environ[WORKERS_ADDRS_ENV] == worker.address
+        fleet.set_addrs("")
+        assert fleet.addrs == ()
+        assert WORKERS_ADDRS_ENV not in os.environ
+
+    def test_set_addrs_reconfigures_live_backend(self, monkeypatch):
+        first = WorkerServer().start()
+        second = WorkerServer().start()
+        try:
+            monkeypatch.setenv("REPRO_EXEC_BACKEND", "distributed")
+            monkeypatch.setenv(WORKERS_ADDRS_ENV, first.address)
+            backend = get_backend()
+            assert backend.addrs == (first.address,)
+            fleet = FleetManager()
+            delta = fleet.set_addrs(f"{first.address},{second.address}")
+            assert delta["added"] == [second.address]
+            assert backend.addrs == (first.address, second.address)
+            # Drain the first worker out again: the same live instance
+            # keeps serving from the survivor.
+            delta = fleet.set_addrs(second.address)
+            assert delta["removed"] == [first.address]
+            assert backend.addrs == (second.address,)
+            assert backend.run_tasks(lambda i: i + 1, 5) == [1, 2, 3, 4, 5]
+        finally:
+            first.stop()
+            second.stop()
+
+    def test_probe_all_reports_every_member(self, monkeypatch, worker):
+        dead = free_port_addr()
+        monkeypatch.setenv(WORKERS_ADDRS_ENV, f"{worker.address},{dead}")
+        reports = FleetManager().probe_all(timeout_s=0.5)
+        assert [r["addr"] for r in reports] == [worker.address, dead]
+        assert [r["alive"] for r in reports] == [True, False]
+
+
+class TestWorkerCli:
+    def test_worker_list_all_alive_exits_zero(self, monkeypatch, worker, capsys):
+        monkeypatch.setenv(WORKERS_ADDRS_ENV, worker.address)
+        assert main(["worker", "list"]) == 0
+        out = capsys.readouterr().out
+        assert worker.address in out
+        assert "alive" in out
+
+    def test_worker_list_flags_a_corpse(self, monkeypatch, worker, capsys):
+        monkeypatch.setenv(
+            WORKERS_ADDRS_ENV, f"{worker.address},{free_port_addr()}"
+        )
+        assert main(["worker", "list", "--timeout", "0.5"]) == 1
+        out = capsys.readouterr().out
+        assert "DOWN" in out and "alive" in out
+
+    def test_worker_list_without_fleet_exits_one(self, monkeypatch, capsys):
+        monkeypatch.delenv(WORKERS_ADDRS_ENV, raising=False)
+        assert main(["worker", "list"]) == 1
+        assert "no worker addresses configured" in capsys.readouterr().err
+
+    def test_worker_status_live(self, worker, capsys):
+        assert main(["worker", "status", worker.address]) == 0
+        assert worker.address in capsys.readouterr().out
+
+    def test_worker_status_dead(self, capsys):
+        assert main(
+            ["worker", "status", free_port_addr(), "--timeout", "0.5"]
+        ) == 1
+        assert "DOWN" in capsys.readouterr().out

@@ -1,0 +1,182 @@
+"""Unit tests for the query-session lifecycle state machine.
+
+The coordinator's concurrency story leans entirely on these properties:
+transitions are validated, terminal states are absorbing (first writer
+wins), ``done`` fires exactly once, and late results of a cancelled
+query are discarded rather than surfaced.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded, QueryCancelled
+from repro.serve.session import (
+    ADMITTED,
+    CANCELLED,
+    DONE,
+    FAILED,
+    PLANNING,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    TIMED_OUT,
+    TRANSITIONS,
+    QuerySession,
+)
+
+
+def make_session(**kwargs) -> QuerySession:
+    return QuerySession("q-test", "SELECT t1.id FROM table t1", **kwargs)
+
+
+class TestTransitionTable:
+    def test_every_state_has_a_row(self):
+        states = {QUEUED, ADMITTED, PLANNING, RUNNING} | TERMINAL_STATES
+        assert set(TRANSITIONS) == states
+
+    def test_terminal_states_are_absorbing(self):
+        for state in TERMINAL_STATES:
+            assert TRANSITIONS[state] == frozenset()
+
+    def test_happy_path_is_legal(self):
+        session = make_session()
+        for state in (ADMITTED, PLANNING, RUNNING, DONE):
+            assert session.transition(state)
+        assert session.state == DONE
+        assert session.done.is_set()
+
+    def test_illegal_jump_is_rejected(self):
+        session = make_session()
+        assert not session.transition(RUNNING)  # QUEUED cannot skip ahead
+        assert session.state == QUEUED
+        assert not session.done.is_set()
+
+    def test_done_not_set_before_terminal(self):
+        session = make_session()
+        session.transition(ADMITTED)
+        session.transition(PLANNING)
+        assert not session.done.is_set()
+
+
+class TestTerminalRaces:
+    def test_first_terminal_wins(self):
+        session = make_session()
+        session.transition(ADMITTED)
+        session.transition(PLANNING)
+        session.transition(RUNNING)
+        assert session.fail(ValueError("boom"))
+        assert session.state == FAILED
+        first_error = session.error
+        # The loser of the race is a no-op, not a corruption.
+        assert not session.transition(CANCELLED)
+        assert not session.fail(QueryCancelled("late cancel"))
+        assert not session.complete({"rows": []})
+        assert session.state == FAILED
+        assert session.error is first_error
+        assert session.result is None
+
+    def test_complete_discards_result_after_cancel(self):
+        """A session whose token fired must never surface rows computed
+        after the fire — the cancel is the observable outcome."""
+        session = make_session()
+        session.transition(ADMITTED)
+        session.transition(PLANNING)
+        session.transition(RUNNING)
+        session.token.cancel("operator")
+        assert session.complete({"rows": [(1,)]})
+        assert session.state == CANCELLED
+        assert session.result is None
+        assert session.error is not None
+        assert session.error["code"] == "cancelled"
+
+    def test_concurrent_writers_reach_exactly_one_terminal(self):
+        session = make_session()
+        session.transition(ADMITTED)
+        session.transition(PLANNING)
+        session.transition(RUNNING)
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def writer(index):
+            barrier.wait()
+            if index % 2:
+                ok = session.fail(ValueError(f"writer {index}"))
+            else:
+                ok = session.complete({"rows": [(index,)]})
+            if ok:
+                wins.append(index)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(wins) == 1
+        assert session.state in TERMINAL_STATES
+        assert session.done.is_set()
+        # Exactly one of result/error is populated, matching the state.
+        if session.state == DONE:
+            assert session.result is not None and session.error is None
+        else:
+            assert session.result is None and session.error is not None
+
+
+class TestFailureClassification:
+    @pytest.mark.parametrize(
+        "exc, state, code",
+        [
+            (QueryCancelled("stop"), CANCELLED, "cancelled"),
+            (DeadlineExceeded("too slow"), TIMED_OUT, "deadline-exceeded"),
+            (ValueError("boom"), FAILED, "service-error"),
+        ],
+    )
+    def test_fail_maps_to_taxonomy(self, exc, state, code):
+        session = make_session()
+        session.transition(ADMITTED)
+        assert session.fail(exc)
+        assert session.state == state
+        assert session.error["code"] == code
+
+    def test_finish_from_token_deadline(self):
+        session = make_session(deadline_s=0.001)
+        time.sleep(0.01)
+        assert session.finish_from_token()
+        assert session.state == TIMED_OUT
+        assert session.error["code"] == "deadline-exceeded"
+
+    def test_finish_from_token_cancel(self):
+        session = make_session()
+        session.token.cancel("shed")
+        assert session.finish_from_token()
+        assert session.state == CANCELLED
+        assert session.error["code"] == "cancelled"
+
+
+class TestSnapshot:
+    def test_snapshot_of_live_session(self):
+        session = make_session(deadline_s=30.0)
+        session.transition(ADMITTED)
+        snap = session.snapshot()
+        assert snap["query_id"] == "q-test"
+        assert snap["state"] == ADMITTED
+        assert snap["terminal"] is False
+        assert snap["error"] is None
+        assert snap["deadline_s"] == 30.0
+        assert 0 < snap["deadline_remaining_s"] <= 30.0
+        assert set(snap["state_times"]) == {QUEUED, ADMITTED}
+        assert snap["age_s"] >= 0.0
+
+    def test_snapshot_without_deadline(self):
+        snap = make_session().snapshot()
+        assert snap["deadline_s"] is None
+        assert snap["deadline_remaining_s"] is None
+
+    def test_snapshot_of_terminal_session(self):
+        session = make_session()
+        session.fail(ValueError("boom"))
+        snap = session.snapshot()
+        assert snap["terminal"] is True
+        assert snap["state"] == FAILED
+        assert snap["error"]["code"] == "service-error"
