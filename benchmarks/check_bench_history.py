@@ -37,6 +37,13 @@ METRIC_THRESHOLDS = {
     # Serve latency rides loopback TCP, a session thread handoff, and the
     # admission queue's condition variable — all scheduler-sensitive.
     "serve_query_latency_s": 1.5,
+    # Data-plane byte counts are deterministic for a fixed workload, but
+    # legitimate payload-layout changes move them; flag only big jumps.
+    "dist_bytes_shipped": 0.5,
+    # The warm re-ship ratio is the blob cache's whole point: cold ships
+    # everything, warm must ship almost nothing.  Any doubling means the
+    # register-by-digest plane stopped deduplicating.
+    "warm_reship_ratio": 1.0,
 }
 
 

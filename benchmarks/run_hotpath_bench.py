@@ -370,7 +370,7 @@ def bench_serve_query_latency():
     timing.  Returns ``None`` on pre-PR checkouts (no serve package).
     """
     try:
-        from repro.serve.client import ServiceClient
+        from repro import connect
         from repro.serve.coordinator import QueryService
     except ImportError:  # pre-PR checkout: no query service
         return None
@@ -381,7 +381,7 @@ def bench_serve_query_latency():
     )
     service = QueryService(max_concurrent=2, max_queue=8).start()
     try:
-        with ServiceClient(service.address, timeout_s=60.0) as client:
+        with connect(service.address, timeout_s=60.0) as client:
             client.run(sql)  # warm planning + relations caches
 
             def run():
@@ -390,6 +390,81 @@ def bench_serve_query_latency():
             return _time(run)
     finally:
         service.stop()
+
+
+def bench_dist_bytes_shipped():
+    """Cold-vs-warm payload bytes of a distributed map phase (PR 8).
+
+    Boots 2 worker daemons over a fresh blob-store directory, runs the
+    same hypercube map phase twice under the distributed backend, and
+    reads the coordinator's data-plane counters:
+
+    * ``dist_bytes_shipped`` — bytes actually sent on the cold run (slim
+      closures + every content-addressed payload);
+    * ``warm_reship_ratio`` — warm-run bytes / cold-run bytes.  With the
+      register-by-digest plane working this is tiny (only the slim
+      closures re-ship); a value near 1.0 means the blob cache stopped
+      deduplicating payloads.
+
+    Returns ``None`` on pre-PR checkouts (no blob data plane).
+    """
+    import os
+    import shutil
+    import tempfile
+
+    try:
+        from repro.mapreduce.backend import close_backends, get_backend
+        from repro.mapreduce.config import execution_settings
+        from repro.mapreduce.wire import closure_transport_available
+    except ImportError:  # pre-PR checkout
+        return None
+    if not hasattr(execution_settings(), "blob_ship"):
+        return None
+    if not closure_transport_available():
+        return None
+
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-blobs-")
+    saved = {
+        name: os.environ.get(name)
+        for name in ("REPRO_CACHE_DIR", "REPRO_WORKERS_ADDRS", "REPRO_BLOB_SHIP")
+    }
+    os.environ["REPRO_CACHE_DIR"] = cache_root
+    os.environ.pop("REPRO_BLOB_SHIP", None)
+    spawned = _spawned_workers(2)  # daemons inherit the fresh cache dir
+    procs = []
+    try:
+        if spawned is None:
+            return None
+        procs, addrs = spawned
+        os.environ["REPRO_WORKERS_ADDRS"] = ",".join(addrs)
+
+        from repro.mapreduce.counters import JobMetrics
+
+        cluster, spec = _hypercube_spec()
+
+        def measure():
+            backend = get_backend()
+            backend.reset_counters()
+            cluster._run_map_phase(spec, JobMetrics(job_name=spec.name))
+            return backend.counters["bytes_shipped"]
+
+        cold = _with_backend_env("distributed", len(addrs), measure)
+        warm = _with_backend_env("distributed", len(addrs), measure)
+        if not cold:
+            return None
+        return {
+            "dist_bytes_shipped": cold,
+            "warm_reship_ratio": round(warm / cold, 4),
+        }
+    finally:
+        close_backends()
+        _stop_workers(procs)
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        shutil.rmtree(cache_root, ignore_errors=True)
 
 
 def bench_end_to_end() -> float:
@@ -433,6 +508,9 @@ def main() -> None:
     # Benches that don't exist on this checkout return None; drop the
     # keys rather than recording a stand-in measurement.
     results = {key: value for key, value in results.items() if value is not None}
+    # The data-plane bench yields two metrics at once (cold bytes + the
+    # warm re-ship ratio); merge them under their own metric names.
+    results.update(bench_dist_bytes_shipped() or {})
 
     existing = {}
     if OUTPUT.exists():

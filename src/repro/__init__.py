@@ -13,9 +13,14 @@ Build relations and an N-join query, plan it with :class:`ThetaJoinPlanner`
 (the paper's method) or one of the baselines in :mod:`repro.baselines`,
 and execute the plan on the :class:`SimulatedCluster`.  See
 ``examples/quickstart.py`` for a complete walk-through.
+
+Against a running ``repro serve`` service, :func:`repro.connect` returns
+a :class:`Client` with ``execute`` / ``status`` / ``cancel`` / ``result``
+(plus the blocking ``wait`` / ``run`` conveniences).
 """
 
 from repro.baselines import HivePlanner, PigPlanner, YSmartPlanner
+from repro.client import Client, connect
 from repro.core import (
     ExecutionOutcome,
     ExecutionPlan,
@@ -47,6 +52,7 @@ from repro.relational import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Client",
     "ClosedFormSelectivityEstimator",
     "ClusterConfig",
     "ExecutionOutcome",
@@ -71,5 +77,6 @@ __all__ = [
     "ThetaOp",
     "YSmartPlanner",
     "choose_reducer_count",
+    "connect",
     "__version__",
 ]

@@ -25,8 +25,8 @@ execution daemon (point coordinators at it with ``--workers-addrs`` or
 ``REPRO_WORKERS_ADDRS``) and ``worker list`` / ``worker status`` probe a
 fleet's health; ``serve`` runs the long-lived query service
 (admission control, per-query deadlines, cancellation) and ``query`` is
-its client; ``cache`` inspects or wipes the disk-persistent planning
-cache.
+its client; ``cache`` inspects or wipes the disk caches — the planning
+tier and the workers' content-addressed blob tier.
 """
 
 from __future__ import annotations
@@ -304,8 +304,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     """Client side of ``repro serve``: submit one query, print its rows."""
+    import repro
     from repro.errors import ServiceError
-    from repro.serve.client import ServiceClient
 
     knobs = {}
     for entry in args.set or ():
@@ -314,7 +314,7 @@ def cmd_query(args: argparse.Namespace) -> int:
             raise SystemExit(f"--set expects NAME=VALUE, got {entry!r}")
         knobs[name] = value
     try:
-        with ServiceClient(args.addr) as client:
+        with repro.connect(args.addr) as client:
             result = client.run(
                 args.sql,
                 workload=args.workload,
@@ -340,38 +340,31 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _planning_disk_store():
-    """The on-disk planning store at the environment's cache location.
-
-    Built directly (not via the default :class:`PlanningCache`) so the
-    cache subcommands work whether or not ``REPRO_PLAN_DISK_CACHE`` is
-    on; constructing the store never creates directories.
-    """
-    from repro.relational.stats_cache import DiskCacheStore
-
-    root = execution_settings().resolved_cache_dir() / "planning"
-    return DiskCacheStore(root)
-
-
 def cmd_cache_stats(args: argparse.Namespace) -> int:
-    store = _planning_disk_store()
-    print(f"planning cache at {store.root}")
-    total_files = 0
-    total_bytes = 0
-    for table, (files, size) in store.table_sizes().items():
-        total_files += files
-        total_bytes += size
-        print(f"  {table:8s} {files:6d} entr{'y' if files == 1 else 'ies'}  "
-              f"{format_bytes(size)}")
-    print(f"  {'total':8s} {total_files:6d} entries  {format_bytes(total_bytes)}")
+    """Report both disk tiers (planning + blobs) through the unified
+    :mod:`repro.storage` API — works whether or not the caches are
+    enabled, and never creates directories just to look."""
+    from repro.storage import tier_stats
+
+    for tier, stats in tier_stats().items():
+        print(f"{tier} cache at {stats['root']}")
+        for table, (files, size) in sorted(stats.get("tables", {}).items()):
+            print(f"  {table:8s} {files:6d} entr{'y' if files == 1 else 'ies'}  "
+                  f"{format_bytes(size)}")
+        entries = stats["entries"]
+        print(f"  {'total':8s} {entries:6d} entr{'y' if entries == 1 else 'ies'}  "
+              f"{format_bytes(stats['bytes'])}")
     return 0
 
 
 def cmd_cache_clear(args: argparse.Namespace) -> int:
-    store = _planning_disk_store()
-    removed = store.clear()
-    print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
-          f"from {store.root}")
+    from repro.storage import clear_tiers, tier_stats
+
+    only = getattr(args, "only", None)
+    roots = {tier: stats["root"] for tier, stats in tier_stats().items()}
+    for tier, removed in clear_tiers(only=only).items():
+        print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
+              f"from {roots[tier]}")
     return 0
 
 
@@ -624,7 +617,8 @@ def make_parser() -> argparse.ArgumentParser:
     query.set_defaults(func=cmd_query)
 
     cache = sub.add_parser(
-        "cache", help="inspect or wipe the disk-persistent planning cache"
+        "cache",
+        help="inspect or wipe the disk caches (planning tier + blob tier)",
     )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_stats = cache_sub.add_parser(
@@ -632,7 +626,13 @@ def make_parser() -> argparse.ArgumentParser:
     )
     cache_stats.set_defaults(func=cmd_cache_stats)
     cache_clear = cache_sub.add_parser(
-        "clear", help="delete every cached planning entry"
+        "clear", help="delete every cached entry (both tiers by default)"
+    )
+    cache_clear.add_argument(
+        "--only",
+        choices=("planning", "blobs"),
+        default=None,
+        help="clear just one tier: the planning cache or the worker blob store",
     )
     cache_clear.set_defaults(func=cmd_cache_clear)
     return parser

@@ -57,13 +57,14 @@ from repro.mapreduce.hdfs import DistributedFile
 from repro.mapreduce.runtime import SimulatedCluster
 from repro.relational.query import JoinQuery
 from repro.relational.relation import Relation
-from repro.relational.stats_cache import _LRUTable, relation_fingerprint
+from repro.relational.stats_cache import relation_fingerprint
+from repro.storage import LRUTable
 
 #: Base relations lifted to composite files, shared across executions by
 #: relation *content* — the four-planner comparisons re-execute the same
 #: query, and composite files are immutable once built, so re-lifting per
 #: execution was pure waste.  Keyed by (fingerprint, alias); bounded LRU.
-_COMPOSITE_FILE_CACHE = _LRUTable(max_entries=256)
+_COMPOSITE_FILE_CACHE = LRUTable(max_entries=256)
 
 
 def lift_base_relation(relation: Relation, alias: str) -> DistributedFile:

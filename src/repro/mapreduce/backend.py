@@ -348,14 +348,62 @@ class _WorkerHandle:
             raise _WorkerLost(self.addr)
         return reply
 
-    def register(self, token: int, blob: bytes) -> None:
-        reply = self._roundtrip(("register", token, blob))
+    def register(
+        self,
+        token: int,
+        slim: bytes,
+        blobs: Optional[Dict[str, bytes]] = None,
+        account: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        """Register-by-digest: probe the worker's blob store, ship only
+        the missing payloads, then register the slim closure against the
+        digest list.  A ``register-missing`` reply (a payload evicted or
+        found corrupt between the probe and the register) re-puts those
+        bytes and retries once — the delete-and-refetch path."""
+        blobs = blobs or {}
+        if account is None:
+            account = lambda _name, _delta: None  # noqa: E731
+        digests = list(blobs)
+        if digests:
+            reply = self._roundtrip(("blob-has", digests))
+            if reply[0] != "blob-have":
+                self.mark_dead()
+                raise _WorkerLost(f"{self.addr}: {reply!r}")
+            missing = [digest for digest in reply[1] if digest in blobs]
+            for digest in digests:
+                if digest not in missing:
+                    account("blob_hits", 1)
+                    account("blob_bytes_reused", len(blobs[digest]))
+            self._put_blobs(missing, blobs, account)
+        reply = self._roundtrip(("register", token, slim, digests))
+        account("bytes_shipped", len(slim))
+        account("registrations", 1)
+        if reply[0] == "register-missing":
+            self._put_blobs(
+                [digest for digest in reply[2] if digest in blobs], blobs, account
+            )
+            reply = self._roundtrip(("register", token, slim, digests))
+            account("bytes_shipped", len(slim))
         if reply[0] != "registered":
             # The worker could not rebuild the closure (e.g. missing
             # module); treat it like a lost worker so others / the local
             # fallback pick the tasks up.
             self.mark_dead()
             raise _WorkerLost(f"{self.addr}: {reply!r}")
+
+    def _put_blobs(
+        self,
+        digests: List[str],
+        blobs: Dict[str, bytes],
+        account: Callable[[str, int], None],
+    ) -> None:
+        for digest in digests:
+            reply = self._roundtrip(("blob-put", digest, blobs[digest]))
+            if reply[0] != "blob-stored":
+                self.mark_dead()
+                raise _WorkerLost(f"{self.addr}: {reply!r}")
+            account("blob_puts", 1)
+            account("bytes_shipped", len(blobs[digest]))
 
     def run_task(self, token: int, index: int) -> object:
         reply = self._roundtrip(("task", token, index))
@@ -443,6 +491,29 @@ class DistributedBackend:
         #: the cancellation property tests) can assert nothing leaked.
         self.tasks_in_flight = 0
         self._inflight_lock = threading.Lock()
+        #: Data-plane accounting across the backend's lifetime:
+        #: ``bytes_shipped`` is every payload byte actually sent (slim
+        #: closures + blob-puts), ``blob_bytes_reused`` the bytes a
+        #: worker's cache hit saved — the numbers the warm-vs-cold bench
+        #: and the ``repro serve`` stats endpoint report.
+        self.counters: Dict[str, int] = {
+            "bytes_shipped": 0,
+            "blob_puts": 0,
+            "blob_hits": 0,
+            "blob_bytes_reused": 0,
+            "registrations": 0,
+        }
+        self._counters_lock = threading.Lock()
+
+    def _account(self, name: str, delta: int) -> None:
+        with self._counters_lock:
+            self.counters[name] = self.counters.get(name, 0) + delta
+
+    def reset_counters(self) -> None:
+        """Zero the data-plane counters (benchmarks measure deltas)."""
+        with self._counters_lock:
+            for name in self.counters:
+                self.counters[name] = 0
 
     # -- worker pool ----------------------------------------------------
 
@@ -542,11 +613,12 @@ class DistributedBackend:
         from repro.mapreduce import wire
         from repro.mapreduce.cancel import current_token
 
-        # Both are read on the *calling* thread, so a serve session's
+        # All are read on the *calling* thread, so a serve session's
         # per-query scope (knobs + cancellation token) travels with the
         # batch even though this backend instance is shared.
         token = current_token()
-        strict = execution_settings().strict_fleet
+        settings = execution_settings()
+        strict = settings.strict_fleet
 
         def degraded(reason: str) -> List[object]:
             if strict:
@@ -562,15 +634,26 @@ class DistributedBackend:
         if not wire.closure_transport_available():
             return degraded("cloudpickle unavailable")
         try:
-            blob = wire.dumps_task_fn(fn)
+            if settings.blob_ship:
+                # Register-by-digest: heavy captures split into content-
+                # addressed payloads workers cache across batches and
+                # queries; only the slim executable part always ships.
+                slim, blobs = wire.split_task_fn(
+                    fn,
+                    min_items=settings.blob_min_items,
+                    min_bytes=settings.blob_min_bytes,
+                )
+            else:
+                slim, blobs = wire.dumps_task_fn(fn), {}
         except Exception as exc:  # unshippable capture: run locally
             return degraded(f"task closure not serializable: {exc}")
-        return self._dispatch(fn, blob, count, handles, token, strict)
+        return self._dispatch(fn, slim, blobs, count, handles, token, strict)
 
     def _dispatch(
         self,
         fn: TaskFn,
-        blob: bytes,
+        slim: bytes,
+        blobs: Dict[str, bytes],
         count: int,
         handles: List[_WorkerHandle],
         cancel_token=None,
@@ -661,7 +744,7 @@ class DistributedBackend:
 
         def dispatcher(handle: _WorkerHandle) -> None:
             try:
-                handle.register(token, blob)
+                handle.register(token, slim, blobs, self._account)
             except _WorkerLost:
                 return
             try:

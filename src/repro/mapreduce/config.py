@@ -162,6 +162,23 @@ NP_MIN_PAIRS_ENV = "REPRO_NP_MIN_PAIRS"
 PLAN_DISK_CACHE_ENV = "REPRO_PLAN_DISK_CACHE"
 #: Root directory of the on-disk planning cache.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: "0" disables register-by-digest closure splitting on the distributed
+#: backend: every batch ships its whole closure again (PR 5 behaviour).
+#: On by default — workers cache content-addressed payload blobs, so a
+#: warm re-run of the same query ships only the slim executable part.
+BLOB_SHIP_ENV = "REPRO_BLOB_SHIP"
+#: Containers (list/tuple/dict) below this element count are never
+#: externalized into blobs — small captures ship inline.
+BLOB_MIN_ITEMS_ENV = "REPRO_BLOB_MIN_ITEMS"
+#: Pickled payloads below this byte count ship inline even when the item
+#: gate passed (a digest round-trip costs more than it saves).
+BLOB_MIN_BYTES_ENV = "REPRO_BLOB_MIN_BYTES"
+#: Size budget of a worker's on-disk blob tier; LRU-evicted above it.
+BLOB_MAX_BYTES_ENV = "REPRO_BLOB_MAX_BYTES"
+#: Age budget of blob entries, seconds; untouched entries expire.
+BLOB_MAX_AGE_ENV = "REPRO_BLOB_MAX_AGE_S"
+#: Entry cap of a worker's in-memory decoded-blob cache.
+BLOB_MEM_ENTRIES_ENV = "REPRO_BLOB_MEM_ENTRIES"
 
 #: Valid values for ``REPRO_EXEC_BACKEND``.
 EXEC_BACKENDS = ("serial", "thread", "process", "distributed")
@@ -255,6 +272,20 @@ class ExecutionSettings:
     #: Fail with ``fleet-exhausted`` instead of degrading to serial/local
     #: when the distributed fleet cannot run the tasks.
     strict_fleet: bool = False
+    #: Register-by-digest closure splitting on the distributed backend.
+    blob_ship: bool = True
+    #: Container element-count gate for blob externalization (the byte
+    #: gate below is the real protection; this just skips trial-pickling
+    #: trivially small captures).
+    blob_min_items: int = 4
+    #: Pickled payload byte gate for blob externalization.
+    blob_min_bytes: int = 4096
+    #: Worker blob tier size budget (bytes; LRU eviction above it).
+    blob_max_bytes: int = 1 << 30
+    #: Worker blob tier age budget (seconds; 0 disables expiry).
+    blob_max_age_s: float = 7 * 86400.0
+    #: Worker in-memory decoded-blob cache entry cap.
+    blob_mem_entries: int = 64
 
     @classmethod
     def from_env(
@@ -294,6 +325,12 @@ class ExecutionSettings:
             plan_disk_cache=env.get(PLAN_DISK_CACHE_ENV, "0") == "1",
             cache_dir=env.get(CACHE_DIR_ENV) or None,
             strict_fleet=env.get(STRICT_FLEET_ENV, "0") == "1",
+            blob_ship=env.get(BLOB_SHIP_ENV, "1") != "0",
+            blob_min_items=_env_int(BLOB_MIN_ITEMS_ENV, 4, env, minimum=1),
+            blob_min_bytes=_env_int(BLOB_MIN_BYTES_ENV, 4096, env),
+            blob_max_bytes=_env_int(BLOB_MAX_BYTES_ENV, 1 << 30, env),
+            blob_max_age_s=_env_float(BLOB_MAX_AGE_ENV, 7 * 86400.0, env),
+            blob_mem_entries=_env_int(BLOB_MEM_ENTRIES_ENV, 64, env, minimum=1),
         )
 
     @property

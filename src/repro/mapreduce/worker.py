@@ -46,15 +46,114 @@ against live daemons without restarting them.
 from __future__ import annotations
 
 import os
+import pickle
 import socket
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.mapreduce import wire
 
 FAULT_MODES = ("kill", "stall", "drop", "slow")
+
+#: Per-connection registration cap: a long-lived coordinator connection
+#: whose unregisters get lost (a dispatcher death mid-batch, say) must
+#: not grow worker RSS without bound.  Live tokens are LRU-refreshed on
+#: every task, and concurrent registrations per connection are bounded
+#: by the coordinator's concurrent batches (a handful), so eviction only
+#: ever reaps leaked entries.
+REGISTRY_MAX_ENTRIES = 64
+
+
+# -- the blob tier (shared by every connection of this daemon) ----------
+
+_BLOB_LOCK = threading.Lock()
+_BLOB_STORE = None
+_BLOB_STORE_ROOT = None
+_BLOB_OBJECTS = None
+
+
+def _blob_store():
+    """This daemon's disk blob tier, built lazily from the environment
+    (``REPRO_CACHE_DIR`` / ``REPRO_BLOB_*``) and rebuilt if the cache
+    directory changes (tests repoint it between servers)."""
+    global _BLOB_STORE, _BLOB_STORE_ROOT, _BLOB_OBJECTS
+    from repro.mapreduce.config import execution_settings
+    from repro.storage import LRUTable, blob_tier
+
+    settings = execution_settings()
+    root = settings.resolved_cache_dir() / "blobs"
+    with _BLOB_LOCK:
+        if _BLOB_STORE is None or _BLOB_STORE_ROOT != root:
+            _BLOB_STORE = blob_tier(settings)
+            _BLOB_STORE_ROOT = root
+            _BLOB_OBJECTS = LRUTable(settings.blob_mem_entries)
+        return _BLOB_STORE
+
+
+def _cache_blob_object(digest: str, obj: object) -> None:
+    with _BLOB_LOCK:
+        if _BLOB_OBJECTS is not None:
+            _BLOB_OBJECTS.store(digest, obj)
+
+
+def _cached_blob_object(digest: str) -> Tuple[bool, object]:
+    with _BLOB_LOCK:
+        if _BLOB_OBJECTS is None:
+            return False, None
+        return _BLOB_OBJECTS.lookup(digest)
+
+
+def reset_blob_state() -> None:
+    """Drop the daemon-wide blob store/object cache (tests only)."""
+    global _BLOB_STORE, _BLOB_STORE_ROOT, _BLOB_OBJECTS
+    with _BLOB_LOCK:
+        _BLOB_STORE = None
+        _BLOB_STORE_ROOT = None
+        _BLOB_OBJECTS = None
+
+
+def _fetch_blob_object(digest: str) -> object:
+    """Resolve one digest to its decoded payload object: memory tier
+    first, then the verified disk tier; a body blob's nested payload
+    references recurse right back through here.  Raises
+    :class:`~repro.mapreduce.wire.BlobMissing` for an absent digest; an
+    undecodable-but-verified payload is discarded and reported missing
+    too, so the coordinator's re-put repairs it (delete-and-refetch)."""
+    hit, obj = _cached_blob_object(digest)
+    if hit:
+        return obj
+    store = _blob_store()
+    payload = store.get(digest)
+    if payload is None:
+        raise wire.BlobMissing(digest)
+    try:
+        obj = wire.load_payload(payload, _fetch_blob_object)
+    except wire.BlobMissing:
+        raise
+    except Exception:
+        store.discard(digest)
+        raise wire.BlobMissing(digest)
+    _cache_blob_object(digest, obj)
+    return obj
+
+
+def _load_blob_objects(digests) -> Tuple[List[str], Dict[str, object]]:
+    """Resolve digests to decoded payload objects; returns
+    ``(missing, objects)`` with every unresolvable digest (absent,
+    corrupt, or undecodable — including one a body blob references
+    transitively) collected into ``missing``."""
+    missing: List[str] = []
+    objects: Dict[str, object] = {}
+    for digest in digests:
+        try:
+            objects[digest] = _fetch_blob_object(digest)
+        except wire.BlobMissing as exc:
+            if exc.digest not in missing:
+                missing.append(exc.digest)
+    return missing, objects
 
 
 @dataclass(frozen=True)
@@ -161,7 +260,7 @@ class WorkerServer:
     # -- connection handling ---------------------------------------------
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        registry: Dict[int, object] = {}
+        registry: "OrderedDict[int, object]" = OrderedDict()
         try:
             while True:
                 try:
@@ -188,7 +287,7 @@ class WorkerServer:
             self._close_socket(conn)
 
     def _handle(
-        self, message: object, registry: Dict[int, object]
+        self, message: object, registry: "OrderedDict[int, object]"
     ) -> Optional[Tuple]:
         if not isinstance(message, tuple) or not message:
             return ("error", "malformed message")
@@ -200,7 +299,7 @@ class WorkerServer:
             return ("error", "malformed message")
 
     def _handle_message(
-        self, message: Tuple, registry: Dict[int, object]
+        self, message: Tuple, registry: "OrderedDict[int, object]"
     ) -> Optional[Tuple]:
         kind = message[0]
         if kind == "ping":
@@ -208,12 +307,58 @@ class WorkerServer:
         if kind == "hello":
             return ("hello-ack", wire.peer_info())
         if kind == "register":
-            _kind, token, blob = message
+            if len(message) == 3:  # PR 5 shape: one unsplit closure blob
+                _kind, token, slim = message
+                digests: Tuple[str, ...] = ()
+            else:
+                _kind, token, slim, digests = message
             try:
-                registry[token] = wire.loads_task_fn(blob)
+                if digests:
+                    missing, objects = _load_blob_objects(digests)
+                    if missing:
+                        # Evicted or corrupt since the coordinator's
+                        # blob-has: ask for exactly those bytes again.
+                        return ("register-missing", token, missing)
+                    fn = wire.join_task_fn(slim, objects.__getitem__)
+                else:
+                    fn = wire.loads_task_fn(slim)
             except Exception as exc:
                 return ("register-error", token, f"{type(exc).__name__}: {exc}")
+            registry[token] = fn
+            registry.move_to_end(token)
+            while len(registry) > REGISTRY_MAX_ENTRIES:
+                registry.popitem(last=False)
             return ("registered", token)
+        if kind == "blob-has":
+            _kind, digests = message
+            store = _blob_store()
+            missing = [
+                digest
+                for digest in digests
+                if not (_cached_blob_object(digest)[0] or store.has(digest))
+            ]
+            return ("blob-have", missing)
+        if kind == "blob-put":
+            _kind, digest, payload = message
+            store = _blob_store()
+            if store.put(digest, payload):
+                return ("blob-stored", digest)
+            # Unwritable disk is survivable if the payload at least
+            # decodes into the memory tier; a digest mismatch is not.
+            try:
+                from repro.storage import blob_digest
+
+                if blob_digest(payload) != digest:
+                    raise ValueError("payload does not match its digest")
+                _cache_blob_object(
+                    digest, wire.load_payload(payload, _fetch_blob_object)
+                )
+            except Exception as exc:
+                return ("blob-error", digest, f"{type(exc).__name__}: {exc}")
+            return ("blob-stored", digest)
+        if kind == "blob-get":
+            _kind, digest = message
+            return ("blob", digest, _blob_store().get(digest))
         if kind == "unregister":
             registry.pop(message[1], None)
             return ("unregistered", message[1])
@@ -222,6 +367,7 @@ class WorkerServer:
             fn = registry.get(token)
             if fn is None:
                 return ("task-error", index, KeyError(f"unknown token {token}"))
+            registry.move_to_end(token)  # live tokens stay off the LRU floor
             self._maybe_fault()
             try:
                 value = fn(index)

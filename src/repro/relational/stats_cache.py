@@ -50,20 +50,23 @@ order is not stable across processes), carry their full key in the
 payload (a digest collision or stale format can never serve a wrong
 value), and any unreadable or mismatching file is silently deleted and
 rebuilt — a corrupt cache can cost time, never correctness.
+
+The generic machinery (LRU tables, stable key serialization, atomic
+keyed pickle files) lives in :mod:`repro.storage` since PR 8 — this
+module keeps its historical names (``_LRUTable``, ``_stable_key_repr``,
+:class:`DiskCacheStore`) as the planning-specific surface over it.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
-import pickle
-import tempfile
-from collections import OrderedDict
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.relational.relation import Relation
 from repro.relational.statistics import RelationStats, compute_relation_stats
+from repro.storage import PLANNING_TABLES, KeyedDiskStore, LRUTable, stable_key_repr
+from repro.storage.keyed import DISK_FORMAT
 from repro.utils import make_rng
 
 #: Relation fingerprint: (name, cardinality, row digest).
@@ -104,95 +107,21 @@ def relation_fingerprint(relation: Relation) -> Fingerprint:
     return fingerprint
 
 
-class _LRUTable:
-    """A small bounded mapping with LRU eviction and hit/miss counters."""
+#: Historical names, now thin views over :mod:`repro.storage` — kept so
+#: existing imports (tests, the executor's composite-file cache before
+#: PR 8) keep working.
+_LRUTable = LRUTable
+_stable_key_repr = stable_key_repr
+_DISK_FORMAT = DISK_FORMAT
 
-    def __init__(self, max_entries: int) -> None:
-        self.max_entries = max_entries
-        self.data: "OrderedDict[object, object]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-
-    def lookup(self, key: object) -> Tuple[bool, object]:
-        try:
-            value = self.data[key]
-        except KeyError:
-            self.misses += 1
-            return False, None
-        self.data.move_to_end(key)
-        self.hits += 1
-        return True, value
-
-    def store(self, key: object, value: object) -> None:
-        self.data[key] = value
-        self.data.move_to_end(key)
-        while len(self.data) > self.max_entries:
-            self.data.popitem(last=False)
-
-    def drop_where(self, predicate) -> int:
-        doomed = [key for key in self.data if predicate(key)]
-        for key in doomed:
-            del self.data[key]
-        return len(doomed)
-
-    def clear(self) -> None:
-        self.data.clear()
+#: Every table a planning disk store may hold — the single source of
+#: truth for whole-store sweeps (``clear``, the ``repro cache`` CLI).
+DISK_TABLES = PLANNING_TABLES
 
 
-def _stable_key_repr(key: object) -> str:
-    """Canonical, process-independent serialization of a cache key.
-
-    ``repr`` alone is unstable for ``frozenset``/``set`` members (their
-    iteration order follows per-process string hashes), so unordered
-    collections are rendered as sorted member lists.  Everything the
-    cache uses as keys is built from tuples, strings, numbers, and
-    frozensets of the same.
-    """
-    if isinstance(key, (frozenset, set)):
-        return "{" + ",".join(sorted(_stable_key_repr(k) for k in key)) + "}"
-    if isinstance(key, tuple):
-        return "(" + ",".join(_stable_key_repr(k) for k in key) + ")"
-    if isinstance(key, list):
-        return "[" + ",".join(_stable_key_repr(k) for k in key) + "]"
-    if isinstance(key, dict):
-        return (
-            "{"
-            + ",".join(
-                sorted(
-                    _stable_key_repr(k) + ":" + _stable_key_repr(v)
-                    for k, v in key.items()
-                )
-            )
-            + "}"
-        )
-    return repr(key)
-
-
-#: Bump when the on-disk payload layout changes; older files are treated
-#: as misses and deleted on contact.
-_DISK_FORMAT = 1
-
-#: Every table a disk store may hold — the single source of truth for
-#: whole-store sweeps (``clear``, the ``repro cache`` CLI).
-DISK_TABLES = ("samples", "stats", "joins")
-
-
-def _code_version() -> str:
-    """The writing code's version, embedded in every payload: pickled
-    class layouts (RelationStats, Relation, ...) can change between
-    releases without failing to unpickle, so an entry written by a
-    different version reads as a miss instead of surfacing a
-    stale-shaped object to the planner."""
-    try:
-        from repro import __version__
-
-        return __version__
-    except ImportError:  # pragma: no cover - partial install
-        return "unknown"
-
-
-class DiskCacheStore:
-    """Content-addressed pickle files backing a :class:`PlanningCache`.
+class DiskCacheStore(KeyedDiskStore):
+    """The planning tier: a :class:`~repro.storage.keyed.KeyedDiskStore`
+    over the ``samples`` / ``stats`` / ``joins`` tables.
 
     One file per entry, ``<root>/<table>/<sha256(key)>.pkl``, written
     atomically (temp file + rename) so readers in other processes never
@@ -204,159 +133,9 @@ class DiskCacheStore:
     """
 
     def __init__(self, root: Path, max_entries_per_table: int = 8192) -> None:
-        self.root = Path(root)
-        self.max_entries_per_table = max_entries_per_table
-        self.hits = 0
-        self.misses = 0
-        self.errors = 0
-        self._stores: Dict[str, int] = {}
-
-    # -- paths -----------------------------------------------------------
-
-    def _path(self, table: str, key: object) -> Path:
-        digest = hashlib.sha256(_stable_key_repr(key).encode("utf-8")).hexdigest()
-        return self.root / table / f"{digest}.pkl"
-
-    # -- load / store ----------------------------------------------------
-
-    def load(self, table: str, key: object) -> Tuple[bool, object]:
-        path = self._path(table, key)
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-            if (
-                isinstance(payload, dict)
-                and payload.get("format") == _DISK_FORMAT
-                and payload.get("version") == _code_version()
-                and payload.get("table") == table
-                and _stable_key_repr(payload.get("key")) == _stable_key_repr(key)
-            ):
-                self.hits += 1
-                return True, payload["value"]
-            # Stale format or digest collision: rebuild from scratch.
-            self._discard(path)
-        except FileNotFoundError:
-            pass
-        except Exception:  # corrupt/truncated/unreadable: ignore + rebuild
-            self.errors += 1
-            self._discard(path)
-        self.misses += 1
-        return False, None
-
-    def store(self, table: str, key: object, value: object) -> None:
-        path = self._path(table, key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            payload = {
-                "format": _DISK_FORMAT,
-                "version": _code_version(),
-                "table": table,
-                "key": key,
-                "value": value,
-            }
-            # Not ".pkl": _prune/drop_where match that suffix and must
-            # never see (or delete) an in-flight write from another
-            # process sharing the store.
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(path.parent), prefix=".tmp-", suffix=".part"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp_name, path)
-            except BaseException:
-                self._discard(Path(tmp_name))
-                raise
-        except Exception:  # read-only/full/odd FS: persistence is optional
-            self.errors += 1
-            return
-        # Per-table store counter; prune on the FIRST store of each table
-        # in this process (so short-lived CLI runs still enforce the cap
-        # against what previous runs accumulated) and every 128th after.
-        count = self._stores.get(table, 0) + 1
-        self._stores[table] = count
-        if count == 1 or count % 128 == 0:
-            self._prune(path.parent)
-
-    def _prune(self, table_dir: Path) -> None:
-        """Keep each table under ``max_entries_per_table`` files (oldest
-        mtime first); called occasionally from the store path."""
-        try:
-            entries = [p for p in table_dir.iterdir() if p.suffix == ".pkl"]
-            overflow = len(entries) - self.max_entries_per_table
-            if overflow > 0:
-                entries.sort(key=lambda p: p.stat().st_mtime)
-                for path in entries[:overflow]:
-                    self._discard(path)
-        except OSError:  # pragma: no cover - directory vanished mid-scan
-            pass
-
-    # -- invalidation ----------------------------------------------------
-
-    def drop_where(self, table: str, predicate: Callable[[object], bool]) -> int:
-        """Remove entries whose *stored key* matches; returns drop count."""
-        table_dir = self.root / table
-        dropped = 0
-        try:
-            entries = list(table_dir.iterdir())
-        except OSError:
-            return 0
-        for path in entries:
-            if path.suffix != ".pkl":
-                continue
-            try:
-                with open(path, "rb") as handle:
-                    payload = pickle.load(handle)
-                key = payload.get("key") if isinstance(payload, dict) else None
-                matches = key is not None and predicate(key)
-            except Exception:
-                matches = True  # unreadable: drop it while we are here
-            if matches:
-                self._discard(path)
-                dropped += 1
-        return dropped
-
-    def clear(self) -> int:
-        """Remove every entry in every table; returns the drop count."""
-        return sum(
-            self.drop_where(table, lambda _key: True) for table in DISK_TABLES
+        super().__init__(
+            root, DISK_TABLES, max_entries_per_table=max_entries_per_table
         )
-
-    @staticmethod
-    def _discard(path: Path) -> None:
-        try:
-            path.unlink()
-        except OSError:  # pragma: no cover - already gone / read-only FS
-            pass
-
-    # -- introspection ---------------------------------------------------
-
-    def counters(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "errors": self.errors}
-
-    def table_sizes(self) -> Dict[str, Tuple[int, int]]:
-        """Per-table ``(entry_count, total_bytes)`` of the on-disk store.
-
-        Read-only: never creates the root or table directories (so a
-        ``repro cache stats`` on a machine that has never cached stays
-        side-effect free).
-        """
-        sizes: Dict[str, Tuple[int, int]] = {}
-        for table in DISK_TABLES:
-            files = 0
-            size = 0
-            table_dir = self.root / table
-            if table_dir.is_dir():
-                for path in table_dir.iterdir():
-                    if path.suffix != ".pkl":
-                        continue
-                    try:
-                        size += path.stat().st_size
-                    except OSError:
-                        continue
-                    files += 1
-            sizes[table] = (files, size)
-        return sizes
 
 
 class PlanningCache:

@@ -13,7 +13,7 @@ tested, not asserted.
 """
 
 from repro.serve.chaos import ChaosEvent, ChaosHarness, arm_fault
-from repro.serve.client import ServiceClient
+from repro.serve.client import ServiceClient  # deprecated: use repro.connect
 from repro.serve.coordinator import QueryService, spawn_service
 from repro.serve.fleet import FleetManager, probe_worker
 from repro.serve.session import (

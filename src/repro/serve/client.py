@@ -1,175 +1,33 @@
-"""Client for the ``repro serve`` query service.
+"""Deprecated home of the service client.
 
-One TCP connection, request/response over the shared wire framing.
-Structured service errors come back as :class:`~repro.errors.ServiceError`
-subclasses rebuilt from their taxonomy codes, so callers write
+The client moved to the package root in PR 8 — use::
 
-    try:
-        result = client.run("SELECT ...", deadline_s=5.0)
-    except DeadlineExceeded:
-        ...
-    except AdmissionRejected:
+    import repro
+
+    with repro.connect(addr) as client:
         ...
 
-and never parse message strings.
+:class:`ServiceClient` remains as a thin alias of
+:class:`repro.client.Client` so existing imports keep working; it emits
+a :class:`DeprecationWarning` on construction and will be removed once
+nothing imports it.
 """
 
 from __future__ import annotations
 
-import socket
-import time
-from typing import Dict, Optional
+import warnings
 
-from repro.errors import ServiceError, error_from_wire
-from repro.mapreduce import wire
+from repro.client import Client
 
 
-class ServiceClient:
-    """Blocking client over one connection; safe for one thread."""
+class ServiceClient(Client):
+    """Deprecated alias of :class:`repro.client.Client`."""
 
     def __init__(self, addr: str, timeout_s: float = 30.0) -> None:
-        self.addr = addr
-        self.timeout_s = timeout_s
-        self._sock: Optional[socket.socket] = None
-
-    # -- connection ------------------------------------------------------
-
-    def connect(self) -> "ServiceClient":
-        sock = wire.connect(self.addr, timeout=self.timeout_s)
-        sock.settimeout(self.timeout_s)
-        wire.send_frame(sock, ("hello", wire.peer_info()))
-        reply = wire.recv_frame(sock)
-        if not (isinstance(reply, tuple) and reply and reply[0] == "hello-ack"):
-            sock.close()
-            raise ServiceError(f"bad handshake reply: {reply!r}")
-        self._sock = sock
-        return self
-
-    def close(self) -> None:
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:  # pragma: no cover - already torn down
-                pass
-            self._sock = None
-
-    def __enter__(self) -> "ServiceClient":
-        return self.connect()
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def _call(self, message: tuple):
-        if self._sock is None:
-            self.connect()
-        assert self._sock is not None
-        try:
-            wire.send_frame(self._sock, message)
-            return wire.recv_frame(self._sock)
-        except (OSError, wire.WireError) as exc:
-            self.close()
-            raise ServiceError(
-                f"service connection lost: {exc}",
-                details={"addr": self.addr},
-            ) from exc
-
-    @staticmethod
-    def _raise_if_error(reply: object):
-        if isinstance(reply, tuple) and reply:
-            if reply[0] in ("error", "rejected"):
-                raise error_from_wire(reply[1] if len(reply) > 1 else None)
-            return reply
-        raise ServiceError(f"malformed service reply: {reply!r}")
-
-    # -- endpoints -------------------------------------------------------
-
-    def submit(
-        self,
-        sql: str,
-        workload: str = "mobile",
-        volume: int = 0,
-        seed: int = 0,
-        method: str = "ours",
-        deadline_s: Optional[float] = None,
-        knobs: Optional[Dict[str, str]] = None,
-    ) -> str:
-        """Enqueue a query; returns its id (raises ``AdmissionRejected``
-        on load shed, before the query costs the service anything)."""
-        spec = {
-            "sql": sql,
-            "workload": workload,
-            "volume": volume,
-            "seed": seed,
-            "method": method,
-            "deadline_s": deadline_s,
-            "knobs": dict(knobs or {}),
-        }
-        reply = self._raise_if_error(self._call(("submit", spec)))
-        if reply[0] != "submitted":
-            raise ServiceError(f"unexpected submit reply: {reply!r}")
-        return reply[1]
-
-    def status(self, query_id: str) -> dict:
-        reply = self._raise_if_error(self._call(("status", query_id)))
-        return reply[1]
-
-    def cancel(self, query_id: str, reason: str = "client cancel") -> dict:
-        reply = self._raise_if_error(self._call(("cancel", query_id, reason)))
-        return reply[1]
-
-    def result(self, query_id: str, timeout_s: float = 60.0) -> dict:
-        """One bounded wait for the terminal payload (may be non-terminal)."""
-        reply = self._raise_if_error(self._call(("result", query_id, timeout_s)))
-        return reply[1]
-
-    def wait(self, query_id: str, timeout_s: float = 300.0) -> dict:
-        """Block until the query is terminal; raises its taxonomy error.
-
-        Returns the result payload (rows, columns, report numbers) on
-        ``DONE``; raises the rebuilt :class:`ServiceError` subclass on
-        any other terminal state."""
-        deadline = time.monotonic() + timeout_s
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise ServiceError(
-                    f"query {query_id} still not terminal after {timeout_s}s"
-                )
-            payload = self.result(query_id, timeout_s=min(remaining, 30.0))
-            if not payload.get("terminal"):
-                continue
-            if payload.get("error"):
-                raise error_from_wire(payload["error"])
-            result = payload.get("result")
-            if result is None:
-                raise ServiceError(
-                    f"query {query_id} terminal without result: "
-                    f"{payload.get('state')}"
-                )
-            return result
-
-    def run(self, sql: str, timeout_s: float = 300.0, **submit_kwargs) -> dict:
-        """Submit + wait, one call."""
-        query_id = self.submit(sql, **submit_kwargs)
-        return self.wait(query_id, timeout_s=timeout_s)
-
-    def stats(self) -> dict:
-        reply = self._raise_if_error(self._call(("stats",)))
-        return reply[1]
-
-    def fleet(self, addrs: Optional[str] = None) -> dict:
-        """Read (``None``) or re-point (``"host:port,host:port"``) the fleet."""
-        reply = self._raise_if_error(self._call(("fleet", addrs)))
-        return reply[1]
-
-    def shutdown(self) -> None:
-        """Ask the service to exit (fire-and-forget; connection drops)."""
-        try:
-            if self._sock is None:
-                self.connect()
-            assert self._sock is not None
-            wire.send_frame(self._sock, ("shutdown",))
-        except (OSError, wire.WireError):  # pragma: no cover - already down
-            pass
-        finally:
-            self.close()
+        warnings.warn(
+            "ServiceClient is deprecated; use repro.connect(addr) "
+            "(repro.client.Client) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(addr, timeout_s=timeout_s)

@@ -57,6 +57,7 @@ from repro.mapreduce.config import (
     MAP_SHARDS_ENV,
     STRICT_FLEET_ENV,
     TASK_RETRIES_ENV,
+    BLOB_SHIP_ENV,
     WORKER_CONNECT_TIMEOUT_ENV,
     WORKER_HEARTBEAT_ENV,
     ClusterConfig,
@@ -87,6 +88,7 @@ ALLOWED_KNOBS = frozenset(
         WORKER_CONNECT_TIMEOUT_ENV,
         MAP_SHARDS_ENV,
         STRICT_FLEET_ENV,
+        BLOB_SHIP_ENV,
     }
 )
 
@@ -466,11 +468,22 @@ class QueryService:
             running = self._running
         with self._stats_lock:
             counters = dict(self.stats)
-        in_flight = sum(
-            backend.tasks_in_flight
+        distributed = [
+            backend
             for backend in _BACKENDS.values()
             if isinstance(backend, DistributedBackend)
-        )
+        ]
+        in_flight = sum(backend.tasks_in_flight for backend in distributed)
+        data_plane = {
+            "bytes_shipped": 0,
+            "blob_puts": 0,
+            "blob_hits": 0,
+            "blob_bytes_reused": 0,
+            "registrations": 0,
+        }
+        for backend in distributed:
+            for name in data_plane:
+                data_plane[name] += backend.counters.get(name, 0)
         counters.update(
             {
                 "queued": queued,
@@ -479,6 +492,7 @@ class QueryService:
                 "max_queue": self.max_queue,
                 "fleet": list(self.fleet.addrs),
                 "tasks_in_flight": in_flight,
+                "data_plane": data_plane,
             }
         )
         return counters

@@ -2,9 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.mapreduce.config import ClusterConfig
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _scoped_cache_dir(tmp_path_factory):
+    """Point REPRO_CACHE_DIR at a session-scoped tmp dir unless the
+    environment already pins one: spawned worker daemons inherit it, so
+    test runs never write blob or planning entries into the user's real
+    ``~/.cache/repro``.  Tests that need their own root still override
+    via monkeypatch/execution_env as before."""
+    if os.environ.get("REPRO_CACHE_DIR"):
+        yield
+        return
+    root = str(tmp_path_factory.mktemp("repro-cache"))
+    os.environ["REPRO_CACHE_DIR"] = root
+    try:
+        yield
+    finally:
+        if os.environ.get("REPRO_CACHE_DIR") == root:
+            del os.environ["REPRO_CACHE_DIR"]
 from repro.mapreduce.runtime import SimulatedCluster
 from repro.relational.predicates import JoinCondition
 from repro.relational.query import JoinQuery

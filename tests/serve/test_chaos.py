@@ -31,7 +31,7 @@ import pytest
 from repro.mapreduce.backend import close_backends
 from repro.mapreduce.wire import closure_transport_available
 from repro.serve.chaos import ChaosEvent, ChaosHarness
-from repro.serve.client import ServiceClient
+import repro
 from repro.serve.coordinator import QueryService
 from repro.serve.session import CANCELLED, DONE, TIMED_OUT
 
@@ -97,7 +97,7 @@ def test_chaos_drill():
             close_backends()
             service = QueryService(max_concurrent=6, max_queue=8).start()
             try:
-                with ServiceClient(service.address, timeout_s=30.0) as client:
+                with repro.connect(service.address, timeout_s=30.0) as client:
                     _drill(service, client, addrs)
             finally:
                 service.stop()

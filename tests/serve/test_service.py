@@ -1,7 +1,7 @@
 """In-process tests of the ``repro serve`` coordinator + client.
 
 Each test boots a real :class:`QueryService` on a loopback port and
-talks to it over the wire through :class:`ServiceClient`, so the frame
+talks to it over the wire through :func:`repro.connect`, so the frame
 protocol, the error-taxonomy round-trip, and the admission machinery
 are all exercised — only the worker fleet is absent (queries run on the
 default in-process backend).
@@ -30,7 +30,7 @@ from repro.errors import (
 from repro.mapreduce.config import ClusterConfig
 from repro.mapreduce.runtime import SimulatedCluster
 from repro.relational.sql import parse_join_query
-from repro.serve.client import ServiceClient
+import repro
 from repro.serve.coordinator import QueryService
 from repro.serve.session import CANCELLED, DONE, QUEUED, TIMED_OUT
 from repro.workloads import workload_relations
@@ -60,7 +60,7 @@ def service():
 
 @pytest.fixture
 def client(service):
-    with ServiceClient(service.address, timeout_s=15.0) as cli:
+    with repro.connect(service.address, timeout_s=15.0) as cli:
         yield cli
 
 
@@ -114,7 +114,7 @@ class TestRoundTrip:
 
         def one_client(seed):
             try:
-                with ServiceClient(service.address, timeout_s=30.0) as cli:
+                with repro.connect(service.address, timeout_s=30.0) as cli:
                     results[seed] = cli.run(MOBILE_SQL, seed=seed)["rows"]
             except Exception as exc:  # noqa: BLE001 - surfaced below
                 errors.append((seed, exc))
@@ -170,7 +170,7 @@ class TestAdmission:
 
     def test_queue_full_sheds_with_structured_details(self, tight_service):
         service = tight_service
-        with ServiceClient(service.address, timeout_s=15.0) as cli:
+        with repro.connect(service.address, timeout_s=15.0) as cli:
             with service._planning_lock:  # park the running query
                 running = cli.submit(MOBILE_SQL)
                 assert wait_for(lambda: service._running == 1)
@@ -229,7 +229,7 @@ class TestFailurePaths:
 
     def test_cancel_queued_session_is_immediate(self, tight_service):
         service = tight_service
-        with ServiceClient(service.address, timeout_s=15.0) as cli:
+        with repro.connect(service.address, timeout_s=15.0) as cli:
             with service._planning_lock:
                 running = cli.submit(MOBILE_SQL)
                 assert wait_for(lambda: service._running == 1)
@@ -248,7 +248,7 @@ class TestFailurePaths:
         terminalize it from the admission loop's reaper — it never gets
         a slot, never plans, and still reports the right taxonomy."""
         service = tight_service
-        with ServiceClient(service.address, timeout_s=15.0) as cli:
+        with repro.connect(service.address, timeout_s=15.0) as cli:
             with service._planning_lock:
                 running = cli.submit(MOBILE_SQL)
                 assert wait_for(lambda: service._running == 1)
@@ -272,7 +272,7 @@ class TestServiceLifecycle:
     def test_stop_terminalizes_queued_sessions(self):
         service = QueryService(max_concurrent=1, max_queue=4).start()
         try:
-            with ServiceClient(service.address, timeout_s=15.0) as cli:
+            with repro.connect(service.address, timeout_s=15.0) as cli:
                 with service._planning_lock:
                     running = cli.submit(MOBILE_SQL)
                     assert wait_for(lambda: service._running == 1)

@@ -25,7 +25,7 @@ from repro.mapreduce.config import ClusterConfig
 from repro.mapreduce.runtime import SimulatedCluster
 from repro.mapreduce.wire import closure_transport_available
 from repro.relational.sql import parse_join_query
-from repro.serve.client import ServiceClient
+import repro
 from repro.serve.coordinator import spawn_service
 from repro.workloads import workload_relations
 
@@ -61,7 +61,7 @@ def test_serve_smoke_over_subprocess_daemons():
             }
         )
         try:
-            with ServiceClient(service_addr, timeout_s=30.0) as client:
+            with repro.connect(service_addr, timeout_s=30.0) as client:
                 # Three concurrent submissions; in a fresh daemon every
                 # cache is cold, so planning dominates — the cancel and
                 # the 1 ms deadline both land long before any rows exist.

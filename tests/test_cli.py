@@ -246,11 +246,16 @@ class TestCacheCommand:
         capsys.readouterr()
         assert main(["--cache-dir", str(target), "cache", "stats"]) == 0
         out = capsys.readouterr().out
+        # Both tiers report through the unified storage API (PR 8).
         assert str(target / "planning") in out
+        assert str(target / "blobs") in out
         for table in ("samples", "stats", "joins", "total"):
             assert table in out
         # The plan above cached at least one sample/statistics entry.
-        assert "   0 entries" not in out.splitlines()[-1]
+        planning_total = next(
+            line for line in out.splitlines() if line.strip().startswith("total")
+        )
+        assert "   0 entries" not in planning_total
 
     def test_stats_on_empty_cache(self, tmp_path, capsys):
         target = tmp_path / "nothing-here"
