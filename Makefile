@@ -13,8 +13,12 @@
 #                   and drive 3 concurrent queries over the wire: one
 #                   checked against a serial reference, one cancelled,
 #                   one past its deadline (structured taxonomy errors)
+#   make serve-recovery - the durability drill: SIGKILL a journaled
+#                   coordinator mid-query, restart it with --recover,
+#                   and check the resumed query replays its checkpointed
+#                   waves and lands bit-identical rows
 #   make ci       - the full local equivalent of the CI gate:
-#                   lint + verify + smoke + serve-smoke
+#                   lint + verify + smoke + serve-smoke + serve-recovery
 #   make bench    - hot-path microbenches (pytest-benchmark table)
 #   make hotpath  - append this revision's hot-path numbers to
 #                   BENCH_hotpaths.json (run with --label before first on
@@ -23,7 +27,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
-.PHONY: verify smoke lint serve-smoke ci bench hotpath
+.PHONY: verify smoke lint serve-smoke serve-recovery ci bench hotpath
 
 verify:
 	$(PYTEST) -x -q
@@ -43,7 +47,10 @@ lint:
 serve-smoke:
 	$(PYTEST) -q tests/serve/test_smoke_subprocess.py
 
-ci: lint verify smoke serve-smoke
+serve-recovery:
+	$(PYTEST) -q tests/serve/test_recovery_subprocess.py
+
+ci: lint verify smoke serve-smoke serve-recovery
 
 bench:
 	$(PYTEST) -q benchmarks/test_perf_hotpaths.py

@@ -44,6 +44,14 @@ METRIC_THRESHOLDS = {
     # everything, warm must ship almost nothing.  Any doubling means the
     # register-by-digest plane stopped deduplicating.
     "warm_reship_ratio": 1.0,
+    # Recovery boots a whole coordinator (listener socket, admitter
+    # thread, journal replay) per repeat — thread/socket setup noise on
+    # shared runners dwarfs the replay cost being guarded.
+    "serve_recovery_s": 1.5,
+    # The checkpoint tax is a ratio of two timed runs, so machine speed
+    # cancels out; still, the cold-store path writes through the real
+    # filesystem, which swings on shared runners.
+    "checkpoint_overhead_ratio": 1.0,
 }
 
 

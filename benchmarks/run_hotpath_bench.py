@@ -467,6 +467,115 @@ def bench_dist_bytes_shipped():
         shutil.rmtree(cache_root, ignore_errors=True)
 
 
+def bench_serve_recovery():
+    """Crash-to-serving recovery time of the ``repro serve`` journal
+    (PR 9): a coordinator that completed one query is discarded and a
+    fresh one is built with ``recover=True`` on the same journal.  The
+    metric is the full restart cost — journal replay, terminal-session
+    restore, listener up — through to the recovered result being read
+    back over the wire.  Returns ``None`` on pre-journal checkouts.
+    """
+    import shutil
+    import tempfile
+
+    try:
+        from repro import connect
+        from repro.serve.coordinator import QueryService
+        from repro.storage import SessionJournal  # noqa: F401 — gate only
+    except ImportError:  # pre-PR checkout: no session journal
+        return None
+
+    sql = (
+        "SELECT t2.id FROM table t1, table t2 "
+        "WHERE t1.d = t2.d AND t1.bt <= t2.bt"
+    )
+    root = tempfile.mkdtemp(prefix="repro-bench-journal-")
+    journal_path = str(Path(root) / "serve.journal")
+    try:
+        service = QueryService(journal_path=journal_path).start()
+        try:
+            with connect(service.address, timeout_s=60.0) as client:
+                qid = client.execute(sql)
+                client.wait(qid, timeout_s=120.0)
+        finally:
+            service.stop()
+
+        def run():
+            recovered = QueryService(
+                journal_path=journal_path, recover=True
+            ).start()
+            try:
+                with connect(recovered.address, timeout_s=60.0) as client:
+                    client.wait(qid, timeout_s=30.0)
+            finally:
+                recovered.stop()
+
+        return _time(run)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def bench_checkpoint_overhead():
+    """Wave-checkpointing tax on a cold end-to-end run (PR 9).
+
+    Times the fig-10-style plan+execute with ``REPRO_CHECKPOINT`` off,
+    then cold-on (fresh cache directory per repeat, so every wave is
+    pickled, hashed, and written), and reports the on/off wall-clock
+    ratio as ``checkpoint_overhead_ratio``.  The checkpoint path only
+    earns its keep if this stays near 1.0.  Returns ``None`` on
+    pre-checkpoint checkouts.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.core.executor import PlanExecutor
+    from repro.core.planner import ThetaJoinPlanner
+
+    if "on_wave" not in PlanExecutor.__init__.__code__.co_varnames:
+        return None  # pre-PR checkout: no wave checkpointing
+
+    from repro.mapreduce.config import PAPER_CLUSTER_KP64
+    from repro.mapreduce.runtime import SimulatedCluster
+    from repro.workloads.mobile import mobile_benchmark_query
+
+    query = mobile_benchmark_query(2, 20)
+
+    def run_once():
+        plan = ThetaJoinPlanner(PAPER_CLUSTER_KP64).plan(query)
+        PlanExecutor(SimulatedCluster(PAPER_CLUSTER_KP64)).execute(plan, query)
+
+    saved = {
+        name: os.environ.get(name)
+        for name in ("REPRO_CHECKPOINT", "REPRO_CACHE_DIR")
+    }
+    roots = []
+    try:
+        os.environ["REPRO_CHECKPOINT"] = "0"
+        off = _time(run_once, repeat=2)
+
+        os.environ["REPRO_CHECKPOINT"] = "1"
+
+        def run_cold():
+            root = tempfile.mkdtemp(prefix="repro-bench-ckpt-")
+            roots.append(root)
+            os.environ["REPRO_CACHE_DIR"] = root
+            run_once()
+
+        on = _time(run_cold, repeat=2)
+        if off <= 0:
+            return None
+        return {"checkpoint_overhead_ratio": round(on / off, 4)}
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        for root in roots:
+            shutil.rmtree(root, ignore_errors=True)
+
+
 def bench_end_to_end() -> float:
     """Fig-10-style plan+execute: mobile Q2 at 20 GB on the kP<=64 cluster."""
     from repro.core.executor import PlanExecutor
@@ -503,6 +612,7 @@ def main() -> None:
         "stats_cache_warm_plan_s": bench_stats_cache_warm_plan(),
         "warm_disk_plan_s": bench_warm_disk_plan(),
         "serve_query_latency_s": bench_serve_query_latency(),
+        "serve_recovery_s": bench_serve_recovery(),
         "end_to_end_fig10_q2_20gb_s": bench_end_to_end(),
     }
     # Benches that don't exist on this checkout return None; drop the
@@ -511,6 +621,7 @@ def main() -> None:
     # The data-plane bench yields two metrics at once (cold bytes + the
     # warm re-ship ratio); merge them under their own metric names.
     results.update(bench_dist_bytes_shipped() or {})
+    results.update(bench_checkpoint_overhead() or {})
 
     existing = {}
     if OUTPUT.exists():

@@ -34,6 +34,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.baselines import HivePlanner, PigPlanner, YSmartPlanner
@@ -291,14 +292,29 @@ def cmd_worker_status(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.mapreduce.config import JOURNAL_DIR_ENV
     from repro.serve.coordinator import serve
 
+    journal_path = args.journal
+    if journal_path is None:
+        journal_dir = os.environ.get(JOURNAL_DIR_ENV, "").strip()
+        if journal_dir:
+            journal_path = str(Path(journal_dir) / "serve.journal")
+    if args.recover and journal_path is None:
+        print(
+            "serve --recover needs a journal: pass --journal PATH or set "
+            f"{JOURNAL_DIR_ENV}",
+            file=sys.stderr,
+        )
+        return 2
     return serve(
         args.host,
         args.port,
         max_concurrent=args.max_concurrent,
         max_queue=args.max_queue,
         default_deadline_s=args.default_deadline_s or None,
+        journal_path=journal_path,
+        recover=args.recover,
     )
 
 
@@ -341,9 +357,9 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_cache_stats(args: argparse.Namespace) -> int:
-    """Report both disk tiers (planning + blobs) through the unified
-    :mod:`repro.storage` API — works whether or not the caches are
-    enabled, and never creates directories just to look."""
+    """Report every disk tier (planning + checkpoints + blobs) through
+    the unified :mod:`repro.storage` API — works whether or not the
+    caches are enabled, and never creates directories just to look."""
     from repro.storage import tier_stats
 
     for tier, stats in tier_stats().items():
@@ -587,6 +603,17 @@ def make_parser() -> argparse.ArgumentParser:
         "--default-deadline-s", type=float, default=0.0,
         help="deadline budget for queries that do not set one (0 = none)",
     )
+    serve_cmd.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append-only session journal for crash recovery "
+        "(default: $REPRO_JOURNAL_DIR/serve.journal when that is set)",
+    )
+    serve_cmd.add_argument(
+        "--recover", action="store_true",
+        help="replay the journal on startup: serve finished results from "
+        "it, re-admit interrupted queries (they resume from their last "
+        "checkpointed wave)",
+    )
     serve_cmd.set_defaults(func=cmd_serve)
 
     query = sub.add_parser(
@@ -618,7 +645,8 @@ def make_parser() -> argparse.ArgumentParser:
 
     cache = sub.add_parser(
         "cache",
-        help="inspect or wipe the disk caches (planning tier + blob tier)",
+        help="inspect or wipe the disk caches "
+        "(planning + checkpoint + blob tiers)",
     )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_stats = cache_sub.add_parser(
@@ -626,13 +654,14 @@ def make_parser() -> argparse.ArgumentParser:
     )
     cache_stats.set_defaults(func=cmd_cache_stats)
     cache_clear = cache_sub.add_parser(
-        "clear", help="delete every cached entry (both tiers by default)"
+        "clear", help="delete every cached entry (all tiers by default)"
     )
     cache_clear.add_argument(
         "--only",
-        choices=("planning", "blobs"),
+        choices=("planning", "checkpoints", "blobs"),
         default=None,
-        help="clear just one tier: the planning cache or the worker blob store",
+        help="clear just one tier: the planning cache, the wave-checkpoint "
+        "index, or the worker blob store",
     )
     cache_clear.set_defaults(func=cmd_cache_clear)
     return parser

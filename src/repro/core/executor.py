@@ -14,9 +14,13 @@ flat output :class:`Relation`.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import pickle
+import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.core.group_cost import merge_duration_s
 from repro.core.partitioner import (
@@ -52,13 +56,20 @@ from repro.joins.records import (
 )
 from repro.mapreduce.backend import get_backend
 from repro.mapreduce.cancel import check_cancelled
+from repro.mapreduce.config import execution_settings
 from repro.mapreduce.counters import ExecutionReport, JobMetrics
 from repro.mapreduce.hdfs import DistributedFile
 from repro.mapreduce.runtime import SimulatedCluster
 from repro.relational.query import JoinQuery
 from repro.relational.relation import Relation
 from repro.relational.stats_cache import relation_fingerprint
-from repro.storage import LRUTable
+from repro.storage import (
+    LRUTable,
+    blob_digest,
+    blob_tier,
+    checkpoint_tier,
+    stable_key_repr,
+)
 
 #: Base relations lifted to composite files, shared across executions by
 #: relation *content* — the four-planner comparisons re-execute the same
@@ -87,11 +98,72 @@ class ExecutionOutcome:
     composites: List[Composite]
 
 
-class PlanExecutor:
-    """Runs any :class:`ExecutionPlan` against a simulated cluster."""
+# -- wave checkpoint accounting (process-wide, for `repro serve stats`) --
 
-    def __init__(self, cluster: SimulatedCluster) -> None:
+_CHECKPOINT_LOCK = threading.Lock()
+_CHECKPOINT_COUNTERS = {
+    "hits": 0,
+    "stores": 0,
+    "store_bytes": 0,
+    "bytes_restored": 0,
+    "skipped_oversize": 0,
+}
+
+
+def _ckpt_account(name: str, delta: int = 1) -> None:
+    with _CHECKPOINT_LOCK:
+        _CHECKPOINT_COUNTERS[name] += delta
+
+
+def checkpoint_counters() -> Dict[str, int]:
+    """Process-wide wave-checkpoint counters (snapshot)."""
+    with _CHECKPOINT_LOCK:
+        return dict(_CHECKPOINT_COUNTERS)
+
+
+def reset_checkpoint_counters() -> None:
+    with _CHECKPOINT_LOCK:
+        for name in _CHECKPOINT_COUNTERS:
+            _CHECKPOINT_COUNTERS[name] = 0
+
+
+@dataclass
+class _CheckpointContext:
+    """The two stores behind wave checkpointing, plus the payload cap."""
+
+    index: object  # KeyedDiskStore: checkpoint key -> {"digest", "bytes"}
+    blobs: object  # DiskBlobStore: digest -> pickled (records, width, metrics)
+    max_bytes: int
+
+
+#: Sentinel in a wave's spec list marking a job restored from checkpoint
+#: (the parallel dispatch must skip it without disturbing fold order).
+_RESTORED = object()
+
+
+class PlanExecutor:
+    """Runs any :class:`ExecutionPlan` against a simulated cluster.
+
+    ``on_wave`` (optional) is called as ``on_wave(job_id, digest,
+    restored)`` after every checkpointed job — once when its output is
+    persisted (``restored=False``) and once per restore from an earlier
+    run (``restored=True``).  ``repro serve`` journals these so crash
+    recovery can prove which waves a resumed query never re-executed.
+    """
+
+    #: Per-execute state, defaulted at class level so helper methods can
+    #: run standalone (tests) without an :meth:`execute` call first.
+    _ckpt: Optional[_CheckpointContext] = None
+    _wave_delay_s: float = 0.0
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        on_wave: Optional[Callable[[str, str, bool], None]] = None,
+    ) -> None:
         self.cluster = cluster
+        self.on_wave = on_wave
+        self._ckpt_keys: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
 
@@ -113,6 +185,18 @@ class PlanExecutor:
         report = ExecutionReport(plan_name=plan.name)
         job_outputs: Dict[str, DistributedFile] = {}
         self._alias_cover = self._compute_alias_cover(plan)
+        settings = execution_settings()
+        self._wave_delay_s = settings.wave_delay_s
+        self._ckpt_keys: Dict[str, str] = {}
+        self._ckpt: Optional[_CheckpointContext] = None
+        # Simulated-time noise would make a restored wave replay the
+        # *other* run's noise draw; checkpointing stays off under noise.
+        if settings.checkpoint and self.cluster.config.noise_sigma == 0.0:
+            self._ckpt = _CheckpointContext(
+                index=checkpoint_tier(settings),
+                blobs=blob_tier(settings),
+                max_bytes=settings.checkpoint_max_bytes,
+            )
         job_ends = self._run_jobs(plan, query, schemas, base_files, job_outputs, report)
 
         final_composites, merge_end, merge_total = self._merge_terminals(
@@ -278,6 +362,11 @@ class PlanExecutor:
                 )
                 for (job, units), duration in zip(wave, durations):
                     heapq.heappush(running, (now + duration, job.job_id, units))
+                if self._wave_delay_s > 0:
+                    # Chaos/test knob (REPRO_WAVE_DELAY_S): widen the
+                    # inter-wave window so a kill lands after a known
+                    # number of waves were checkpointed and journaled.
+                    time.sleep(self._wave_delay_s)
             if remaining or running:
                 if not running:
                     stuck = sorted(
@@ -333,6 +422,8 @@ class PlanExecutor:
             ]
 
         specs: List[Optional[object]] = []
+        restored_waves: Dict[str, Tuple[DistributedFile, JobMetrics, str]] = {}
+        keys: Dict[str, str] = {}
         for job in jobs:
             resolved = [
                 base_files[ref.name] if ref.kind == "base" else job_outputs[ref.name]
@@ -340,14 +431,24 @@ class PlanExecutor:
             ]
             if any(f.num_records == 0 for f in resolved):
                 specs.append(None)  # empty-input short circuit, handled below
-            else:
-                specs.append(
-                    self._materialize(job, query, schemas, base_files, job_outputs)
-                )
+                continue
+            if self._ckpt is not None:
+                key = self._checkpoint_key(job, query)
+                keys[job.job_id] = key
+                restored = self._checkpoint_restore(job, query, key)
+                if restored is not None:
+                    restored_waves[job.job_id] = restored
+                    specs.append(_RESTORED)  # folds below, never dispatches
+                    continue
+            specs.append(
+                self._materialize(job, query, schemas, base_files, job_outputs)
+            )
 
         cluster = self.cluster
         parallel = [
-            (job, spec) for job, spec in zip(jobs, specs) if spec is not None
+            (job, spec)
+            for job, spec in zip(jobs, specs)
+            if spec is not None and spec is not _RESTORED
         ]
 
         def run_one(index: int):
@@ -365,6 +466,13 @@ class PlanExecutor:
                     )
                 )
                 continue
+            if spec is _RESTORED:
+                durations.append(
+                    self._fold_restored(
+                        job, restored_waves[job.job_id], job_outputs, report
+                    )
+                )
+                continue
             result = next(results)
             # The job ran against a forked (process backend) or shipped
             # (distributed backend) copy of the cluster; publish its
@@ -375,7 +483,136 @@ class PlanExecutor:
             report.job_metrics.append(result.metrics)
             job_outputs[job.job_id] = result.output
             durations.append(result.metrics.total_time_s)
+            if self._ckpt is not None:
+                digest = self._checkpoint_persist(
+                    job, query, keys[job.job_id], result
+                )
+                if digest is not None:
+                    report.checkpoint_stores += 1
+                    self._notify_wave(job.job_id, digest, False)
         return durations
+
+    # -- wave checkpointing ---------------------------------------------
+
+    def _checkpoint_key(self, job: PlannedJob, query: JoinQuery) -> str:
+        """Content key of this job's output: Merkle over everything that
+        determines it (and its metrics) — the job's shape, its condition
+        semantics, the cluster's rates, and the identity of every input
+        (base relations by content fingerprint, upstream jobs by *their*
+        checkpoint key, which chains the whole DAG).  Two queries with
+        different names but identical content share keys; name-dependent
+        fields are rewritten on restore."""
+        cached = self._ckpt_keys.get(job.job_id)
+        if cached is not None:
+            return cached
+        inputs = []
+        for ref in job.inputs:
+            if ref.kind == "base":
+                inputs.append(
+                    ("base",) + relation_fingerprint(query.relations[ref.name])
+                )
+            else:
+                inputs.append(("job", self._ckpt_keys[ref.name]))
+        parts = (
+            "wave-ckpt-v1",
+            job.strategy,
+            int(job.units),
+            int(job.num_reducers),
+            int(job.partition_bits),
+            int(job.output_replication),
+            float(job.extra_startup_s),
+            tuple(repr(query.condition(cid)) for cid in job.condition_ids),
+            tuple(self._input_aliases(ref) for ref in job.inputs),
+            tuple(inputs),
+            repr(self.cluster.config),
+        )
+        key = hashlib.sha256(stable_key_repr(parts).encode("utf-8")).hexdigest()
+        self._ckpt_keys[job.job_id] = key
+        return key
+
+    def _checkpoint_restore(
+        self, job: PlannedJob, query: JoinQuery, key: str
+    ) -> Optional[Tuple[DistributedFile, JobMetrics, str]]:
+        """Load a checkpointed wave output; None on any miss/corruption.
+
+        Verify-on-read end to end: the keyed index rejects version/format
+        skew, the blob store re-hashes the payload (deleting a corrupt
+        file), and an undecodable payload discards the entry — a
+        checkpoint can cost a recompute, never a wrong answer.
+        """
+        ctx = self._ckpt
+        hit, entry = ctx.index.load("waves", key)
+        if not hit or not isinstance(entry, dict) or "digest" not in entry:
+            return None
+        digest = entry["digest"]
+        payload = ctx.blobs.get(digest)
+        if payload is None:
+            return None
+        try:
+            records, record_width, metrics = pickle.loads(payload)
+        except Exception:
+            ctx.blobs.discard(digest)
+            return None
+        # The stored output/metrics carry the *writing* query's name;
+        # rebuild the name-dependent fields for this run so a restored
+        # execution is bit-identical to a fresh one.
+        name = f"{query.name}:{job.job_id}"
+        metrics.job_name = name
+        file = DistributedFile(
+            name=f"{name}.out",
+            records=records,
+            record_width=record_width,
+            tag=f"{name}.out",
+        )
+        _ckpt_account("hits")
+        _ckpt_account("bytes_restored", len(payload))
+        return file, metrics, digest
+
+    def _checkpoint_persist(
+        self, job: PlannedJob, query: JoinQuery, key: str, result
+    ) -> Optional[str]:
+        """Persist one completed job's output; returns its blob digest."""
+        ctx = self._ckpt
+        try:
+            payload = pickle.dumps(
+                (
+                    list(result.output.records),
+                    result.output.record_width,
+                    result.metrics,
+                ),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:  # unpicklable record type: persistence is optional
+            return None
+        if len(payload) > ctx.max_bytes:
+            _ckpt_account("skipped_oversize")
+            return None
+        digest = blob_digest(payload)
+        if not ctx.blobs.put(digest, payload):
+            return None
+        ctx.index.store("waves", key, {"digest": digest, "bytes": len(payload)})
+        _ckpt_account("stores")
+        _ckpt_account("store_bytes", len(payload))
+        return digest
+
+    def _fold_restored(
+        self,
+        job: PlannedJob,
+        restored: Tuple[DistributedFile, JobMetrics, str],
+        job_outputs: Dict[str, DistributedFile],
+        report: ExecutionReport,
+    ) -> float:
+        file, metrics, digest = restored
+        self.cluster.hdfs.put(file)
+        job_outputs[job.job_id] = file
+        report.job_metrics.append(metrics)
+        report.checkpoint_hits += 1
+        self._notify_wave(job.job_id, digest, True)
+        return metrics.total_time_s
+
+    def _notify_wave(self, job_id: str, digest: str, restored: bool) -> None:
+        if self.on_wave is not None:
+            self.on_wave(job_id, digest, restored)
 
     def _run_single_job(
         self,
@@ -393,6 +630,10 @@ class PlanExecutor:
             for ref in job.inputs
         ]
         if any(f.num_records == 0 for f in resolved):
+            if self._ckpt is not None:
+                # Not worth persisting (start-up charge only), but the key
+                # must exist: downstream jobs chain through it.
+                self._checkpoint_key(job, query)
             empty = DistributedFile(
                 name=f"{query.name}:{job.job_id}.out", records=[], record_width=64,
                 tag=f"{query.name}:{job.job_id}.out",
@@ -406,6 +647,13 @@ class PlanExecutor:
             report.job_metrics.append(metrics)
             return metrics.total_time_s
 
+        key: Optional[str] = None
+        if self._ckpt is not None:
+            key = self._checkpoint_key(job, query)
+            restored = self._checkpoint_restore(job, query, key)
+            if restored is not None:
+                return self._fold_restored(job, restored, job_outputs, report)
+
         spec = self._materialize(job, query, schemas, base_files, job_outputs)
         result = self.cluster.run_job(
             spec, map_units=job.units, reduce_units=job.units
@@ -414,6 +662,11 @@ class PlanExecutor:
         result.metrics.startup_time_s += job.extra_startup_s
         report.job_metrics.append(result.metrics)
         job_outputs[job.job_id] = result.output
+        if key is not None:
+            digest = self._checkpoint_persist(job, query, key, result)
+            if digest is not None:
+                report.checkpoint_stores += 1
+                self._notify_wave(job.job_id, digest, False)
         return result.metrics.total_time_s
 
     def _materialize(

@@ -52,6 +52,7 @@ from __future__ import annotations
 import atexit
 import sys
 import threading
+import time
 from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -124,16 +125,19 @@ class ThreadBackend:
     def __init__(self, workers: int) -> None:
         self.workers = max(1, workers)
         self._pool = None
+        self._pool_lock = threading.Lock()
 
     def run_tasks(self, fn: TaskFn, count: int) -> List[object]:
         if count <= 1 or self.workers <= 1:
             return [fn(index) for index in range(count)]
-        if self._pool is None:
-            from concurrent.futures import ThreadPoolExecutor
+        with self._pool_lock:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
 
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-exec"
-            )
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-exec"
+                )
+            pool = self._pool
 
         def guarded(index: int) -> object:
             _TLS.in_task = True
@@ -142,12 +146,18 @@ class ThreadBackend:
             finally:
                 _TLS.in_task = False
 
-        return list(self._pool.map(guarded, range(count)))
+        return list(pool.map(guarded, range(count)))
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        # Idempotent and safe under concurrent callers: exactly one
+        # caller pops the pool and shuts it down, later calls no-op.
+        # Waiting (instead of cancelling) lets a wave that is already in
+        # flight on this pool finish intact; its run_tasks caller holds
+        # its own reference to the executor.
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 class ProcessBackend:
@@ -159,6 +169,7 @@ class ProcessBackend:
     def __init__(self, workers: int) -> None:
         self.workers = max(1, workers)
         self._pool = None
+        self._pool_lock = threading.Lock()
         self._forked_version = -1
         self._fallback: Optional[ThreadBackend] = None
 
@@ -175,21 +186,30 @@ class ProcessBackend:
     def _ensure_pool(self):
         """The worker pool, re-forked whenever the registry moved past
         its fork-time snapshot (i.e. per batch for per-job closures)."""
-        if self._pool is not None and self._forked_version == _REGISTRY_VERSION:
+        with self._pool_lock:
+            if self._pool is not None and self._forked_version == _REGISTRY_VERSION:
+                return self._pool
+            context = self._fork_context()
+            if context is None:  # pragma: no cover - non-POSIX platform
+                return None
+            if self._pool is not None:
+                pool, self._pool = self._pool, None
+                pool.terminate()
+                pool.join()
+            self._pool = context.Pool(self.workers, initializer=_worker_init)
+            self._forked_version = _REGISTRY_VERSION
             return self._pool
-        context = self._fork_context()
-        if context is None:  # pragma: no cover - non-POSIX platform
-            return None
-        self._terminate_pool()
-        self._pool = context.Pool(self.workers, initializer=_worker_init)
-        self._forked_version = _REGISTRY_VERSION
-        return self._pool
 
     def _terminate_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        # Pop-then-terminate under the lock: concurrent or repeated
+        # closers race for the pool, exactly one wins the terminate/join
+        # and the rest no-op — never a double-join.
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._forked_version = -1
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
     # -- execution ------------------------------------------------------
 
@@ -216,10 +236,9 @@ class ProcessBackend:
 
     def close(self) -> None:
         self._terminate_pool()
-        self._forked_version = -1
-        if self._fallback is not None:  # pragma: no cover - non-POSIX
-            self._fallback.close()
-            self._fallback = None
+        fallback, self._fallback = self._fallback, None
+        if fallback is not None:  # pragma: no cover - non-POSIX
+            fallback.close()
 
 
 class _WorkerLost(Exception):
@@ -502,8 +521,20 @@ class DistributedBackend:
             "blob_hits": 0,
             "blob_bytes_reused": 0,
             "registrations": 0,
+            "hedges_launched": 0,
+            "hedge_wins": 0,
+            "breaker_trips": 0,
+            "breaker_skips": 0,
         }
         self._counters_lock = threading.Lock()
+        #: Per-worker circuit breaker: addr -> {failures, trips,
+        #: open_until}.  A worker that keeps dying mid-batch trips the
+        #: breaker and is quarantined (no dial, no dispatch) until batch
+        #: number ``open_until``; the cooldown doubles with each trip so
+        #: a flapping daemon costs reconnect churn only occasionally,
+        #: while a recovered one halves its trip count per clean batch
+        #: and soon rejoins at full trust.  Guarded by ``self._lock``.
+        self._breaker: Dict[str, Dict[str, int]] = {}
 
     def _account(self, name: str, delta: int) -> None:
         with self._counters_lock:
@@ -562,6 +593,41 @@ class DistributedBackend:
             "kept": [addr for addr in addrs if addr in old],
         }
 
+    # -- circuit breaker -------------------------------------------------
+
+    def _record_worker_loss(self, addr: str, threshold: int, cooldown: int) -> None:
+        """One batch ended with ``addr`` dead; trip its breaker at
+        ``threshold`` consecutive losses for an exponentially growing
+        number of batches."""
+        with self._lock:
+            state = self._breaker.setdefault(
+                addr, {"failures": 0, "trips": 0, "open_until": 0}
+            )
+            state["failures"] += 1
+            tripped = state["failures"] >= threshold
+            if tripped:
+                state["open_until"] = self._batches + cooldown * 2 ** min(
+                    state["trips"], 6
+                )
+                state["trips"] += 1
+                state["failures"] = 0
+        if tripped:
+            self._account("breaker_trips", 1)
+
+    def _record_worker_ok(self, addr: str) -> None:
+        """A clean batch on ``addr``: reset its loss streak, decay trust
+        debt (trips halve, so past flapping is forgiven gradually)."""
+        with self._lock:
+            state = self._breaker.get(addr)
+            if state is not None:
+                state["failures"] = 0
+                state["trips"] //= 2
+
+    def breaker_state(self) -> Dict[str, Dict[str, int]]:
+        """Snapshot of per-worker breaker state (``repro serve stats``)."""
+        with self._lock:
+            return {addr: dict(state) for addr, state in self._breaker.items()}
+
     def _live_handles(self) -> List[_WorkerHandle]:
         """Connected handles; dials (and re-dials) the rest with backoff.
 
@@ -569,12 +635,18 @@ class DistributedBackend:
         reconnection after a failure-count-doubling number of batches —
         so a worker daemon restarted on the same host:port rejoins a
         long-lived coordinator instead of being blacklisted forever,
-        while a genuinely down host is only probed occasionally.
+        while a genuinely down host is only probed occasionally.  An
+        address whose circuit breaker is open is skipped outright — not
+        even dialed — until its cooldown batch arrives.
 
         Callers must hold ``self._lock``.
         """
         live = []
         for addr in self.addrs:
+            breaker = self._breaker.get(addr)
+            if breaker is not None and self._batches < breaker.get("open_until", 0):
+                self._account("breaker_skips", 1)
+                continue
             handle = self._handles.get(addr)
             if handle is not None and handle.alive:
                 live.append(handle)
@@ -647,7 +719,9 @@ class DistributedBackend:
                 slim, blobs = wire.dumps_task_fn(fn), {}
         except Exception as exc:  # unshippable capture: run locally
             return degraded(f"task closure not serializable: {exc}")
-        return self._dispatch(fn, slim, blobs, count, handles, token, strict)
+        return self._dispatch(
+            fn, slim, blobs, count, handles, token, strict, settings
+        )
 
     def _dispatch(
         self,
@@ -658,6 +732,7 @@ class DistributedBackend:
         handles: List[_WorkerHandle],
         cancel_token=None,
         strict: bool = False,
+        settings: Optional[ExecutionSettings] = None,
     ) -> List[object]:
         from repro.errors import FleetExhausted
 
@@ -672,8 +747,52 @@ class DistributedBackend:
         in_flight = [0]
         cond = threading.Condition()
 
+        # -- straggler hedging (all state guarded by ``cond``) ----------
+        # When the batch's tail is one slow in-flight task and other
+        # dispatchers are idle, an idle worker re-dispatches a *copy* of
+        # the straggling index instead of waiting.  Exactly-once folding
+        # (``results.setdefault``) makes the duplicate completion safe —
+        # first finisher wins, the loser's value is dropped — so hedging
+        # cannot change outputs, only latency.  A hedge does not burn
+        # the index's retry budget (``attempts``): it is extra capacity
+        # spent, not a failure observed.
+        hedge_on = (
+            settings is not None
+            and settings.hedge
+            and settings.hedge_max_per_task > 0
+            and len(handles) > 1
+        )
+        durations: List[float] = []  # completed-task wall times, this batch
+        dispatched_at: Dict[int, float] = {}  # index -> primary dispatch time
+        inflight_of: Dict[int, int] = {}  # index -> copies on the wire
+        hedge_count: Dict[int, int] = {}  # index -> hedges launched
+
         def fired() -> bool:
             return cancel_token is not None and cancel_token.fired() is not None
+
+        def pick_hedge_locked() -> Optional[int]:
+            """The most-overdue hedgeable index, or None.  ``cond`` held.
+
+            "Overdue" is quantile-based per the batch's own completed
+            tasks: elapsed > ``hedge_factor`` x the ``hedge_quantile``-th
+            completed duration, with at least ``hedge_min_samples``
+            completions before any hedge fires (no model, no tuning —
+            the batch calibrates itself)."""
+            if len(durations) < max(1, settings.hedge_min_samples):
+                return None
+            ordered = sorted(durations)
+            rank = min(len(ordered) - 1, int(settings.hedge_quantile * len(ordered)))
+            now = time.monotonic()
+            best, best_elapsed = None, ordered[rank] * settings.hedge_factor
+            for index, started in dispatched_at.items():
+                if index in results or inflight_of.get(index, 0) <= 0:
+                    continue
+                if hedge_count.get(index, 0) >= settings.hedge_max_per_task:
+                    continue
+                elapsed = now - started
+                if elapsed > best_elapsed:
+                    best, best_elapsed = index, elapsed
+            return best
 
         def pull_tasks(handle: _WorkerHandle) -> None:
             while True:
@@ -683,7 +802,9 @@ class DistributedBackend:
                     # its index is re-queued, and this survivor is the one
                     # meant to retry it.  The 50 ms poll also bounds how
                     # long an expired deadline or a drain goes unnoticed
-                    # while idling.
+                    # while idling — and is where an idle survivor spots
+                    # a straggler worth hedging.
+                    is_hedge = False
                     while (
                         failure[0] is None
                         and not fired()
@@ -691,24 +812,38 @@ class DistributedBackend:
                         and not pending
                         and in_flight[0] > 0
                     ):
+                        if hedge_on:
+                            candidate = pick_hedge_locked()
+                            if candidate is not None:
+                                index = candidate
+                                is_hedge = True
+                                break
                         cond.wait(0.05)
-                    if (
-                        failure[0] is not None
-                        or fired()
-                        or handle.draining.is_set()
-                        or not pending
-                    ):
-                        return
-                    index = pending.popleft()
-                    attempts[index] += 1
+                    if not is_hedge:
+                        if (
+                            failure[0] is not None
+                            or fired()
+                            or handle.draining.is_set()
+                            or not pending
+                        ):
+                            return
+                        index = pending.popleft()
+                        attempts[index] += 1
+                        dispatched_at[index] = time.monotonic()
+                    else:
+                        hedge_count[index] = hedge_count.get(index, 0) + 1
+                    inflight_of[index] = inflight_of.get(index, 0) + 1
                     in_flight[0] += 1
                     self._track_inflight(+1)
+                if is_hedge:
+                    self._account("hedges_launched", 1)
                 try:
                     value = handle.run_task(token, index)
                 except _RemoteTaskError as exc:
                     with cond:
                         failure[0] = exc.original
                         in_flight[0] -= 1
+                        inflight_of[index] = inflight_of.get(index, 1) - 1
                         self._track_inflight(-1)
                         cond.notify_all()
                     return
@@ -720,15 +855,20 @@ class DistributedBackend:
                     handle.mark_dead()
                     with cond:
                         in_flight[0] -= 1
+                        inflight_of[index] = inflight_of.get(index, 1) - 1
                         self._track_inflight(-1)
                         # Retry on the survivors while budget remains —
                         # unless the query is already cancelled or past
                         # its deadline, in which case the index is
                         # *abandoned*: re-running work nobody will read
                         # would spend fleet capacity other queries need.
+                        # A hedged index with another copy still on the
+                        # wire is not re-queued either — the survivor IS
+                        # the retry.
                         if (
                             not fired()
                             and index not in results
+                            and inflight_of.get(index, 0) <= 0
                             and attempts[index] <= self.task_retries
                         ):
                             pending.append(index)
@@ -736,11 +876,21 @@ class DistributedBackend:
                     return
                 with cond:
                     # Exactly-once folding: the first completion of an
-                    # index wins; a zombie's late duplicate is dropped.
+                    # index wins; a zombie's (or hedge loser's) late
+                    # duplicate is dropped.
+                    first = index not in results
                     results.setdefault(index, value)
+                    if first:
+                        durations.append(
+                            time.monotonic()
+                            - dispatched_at.get(index, time.monotonic())
+                        )
                     in_flight[0] -= 1
+                    inflight_of[index] = inflight_of.get(index, 1) - 1
                     self._track_inflight(-1)
                     cond.notify_all()
+                if first and is_hedge:
+                    self._account("hedge_wins", 1)
 
         def dispatcher(handle: _WorkerHandle) -> None:
             try:
@@ -772,6 +922,24 @@ class DistributedBackend:
             thread.start()
         for thread in threads:
             thread.join()
+
+        # Feed the circuit breaker: every worker that ended this batch
+        # dead counts a loss against its address (drained handles were
+        # closed deliberately — not the worker's fault); every survivor
+        # counts a clean batch.  Recorded after the join so a single
+        # batch scores each worker exactly once.
+        if settings is not None and settings.breaker_threshold > 0:
+            for handle in handles:
+                if handle.draining.is_set():
+                    continue
+                if handle.dead.is_set():
+                    self._record_worker_loss(
+                        handle.addr,
+                        settings.breaker_threshold,
+                        settings.breaker_cooldown_batches,
+                    )
+                else:
+                    self._record_worker_ok(handle.addr)
 
         if failure[0] is not None:
             raise failure[0]
@@ -809,6 +977,10 @@ class DistributedBackend:
 
 _SERIAL = SerialBackend()
 _BACKENDS: Dict[Tuple, object] = {}
+#: Guards the backend registry: ``get_backend`` may race against
+#: ``close_backends`` (atexit, test teardown) or against itself from
+#: concurrent ``repro serve`` session threads.
+_BACKENDS_LOCK = threading.Lock()
 
 
 def get_backend(settings: Optional[ExecutionSettings] = None):
@@ -837,31 +1009,40 @@ def get_backend(settings: Optional[ExecutionSettings] = None):
             settings.task_retries,
             settings.worker_connect_timeout_s,
         )
-    backend = _BACKENDS.get(key)
-    if backend is not None and settings.backend == "distributed":
+    with _BACKENDS_LOCK:
+        backend = _BACKENDS.get(key)
+        if backend is None:
+            if settings.backend == "distributed":
+                backend = DistributedBackend(
+                    settings.workers_addrs,
+                    heartbeat_s=settings.worker_heartbeat_s,
+                    task_retries=settings.task_retries,
+                    connect_timeout_s=settings.worker_connect_timeout_s,
+                )
+            elif settings.backend == "thread":
+                backend = ThreadBackend(settings.effective_workers)
+            else:
+                backend = ProcessBackend(settings.effective_workers)
+            _BACKENDS[key] = backend
+    if settings.backend == "distributed":
         if tuple(backend.addrs) != tuple(settings.workers_addrs):
             backend.reconfigure(settings.workers_addrs)
-    if backend is None:
-        if settings.backend == "distributed":
-            backend = DistributedBackend(
-                settings.workers_addrs,
-                heartbeat_s=settings.worker_heartbeat_s,
-                task_retries=settings.task_retries,
-                connect_timeout_s=settings.worker_connect_timeout_s,
-            )
-        elif settings.backend == "thread":
-            backend = ThreadBackend(settings.effective_workers)
-        else:
-            backend = ProcessBackend(settings.effective_workers)
-        _BACKENDS[key] = backend
     return backend
 
 
 def close_backends() -> None:
-    """Shut down every pooled backend (tests, interpreter exit)."""
-    for backend in _BACKENDS.values():
+    """Shut down every pooled backend (tests, interpreter exit).
+
+    Idempotent and safe to call concurrently with itself or with a
+    batch in flight: the registry is snapshotted and cleared under the
+    lock, then each backend's own close (itself idempotent) runs
+    outside it.
+    """
+    with _BACKENDS_LOCK:
+        backends = list(_BACKENDS.values())
+        _BACKENDS.clear()
+    for backend in backends:
         backend.close()
-    _BACKENDS.clear()
 
 
 atexit.register(close_backends)

@@ -179,6 +179,45 @@ BLOB_MAX_BYTES_ENV = "REPRO_BLOB_MAX_BYTES"
 BLOB_MAX_AGE_ENV = "REPRO_BLOB_MAX_AGE_S"
 #: Entry cap of a worker's in-memory decoded-blob cache.
 BLOB_MEM_ENTRIES_ENV = "REPRO_BLOB_MEM_ENTRIES"
+#: "1" persists each completed ready-wave job's output by sha256 digest
+#: into the blob tier (wave checkpointing): a retried phase, re-planned
+#: query, or restarted run restores the completed waves instead of
+#: recomputing them.  Off by default in the library; ``repro serve``
+#: recovery relies on it being set for the daemon.
+CHECKPOINT_ENV = "REPRO_CHECKPOINT"
+#: Per-wave checkpoint payload cap, bytes; larger outputs are not
+#: persisted (the recompute is cheaper than the disk churn).
+CHECKPOINT_MAX_BYTES_ENV = "REPRO_CHECKPOINT_MAX_BYTES"
+#: Directory of the coordinator's session journal.  ``repro serve``
+#: journals to ``<dir>/serve.journal`` when set (the ``--journal`` flag
+#: overrides with an explicit file path).
+JOURNAL_DIR_ENV = "REPRO_JOURNAL_DIR"
+#: "0" skips the fsync after each journal append (faster, but a crash
+#: may lose the tail records; replay still tolerates the torn tail).
+JOURNAL_FSYNC_ENV = "REPRO_JOURNAL_FSYNC"
+#: "0" disables straggler hedging on the distributed backend.  On by
+#: default: an idle dispatcher speculatively re-dispatches an in-flight
+#: task that has run far past the completed-duration quantile (duplicate
+#: completions are safe — folding is exactly-once, first answer wins).
+HEDGE_ENV = "REPRO_HEDGE"
+#: Quantile of completed-task durations used as the straggler baseline.
+HEDGE_QUANTILE_ENV = "REPRO_HEDGE_QUANTILE"
+#: A task is hedge-eligible once its elapsed time exceeds
+#: ``quantile * factor``.
+HEDGE_FACTOR_ENV = "REPRO_HEDGE_FACTOR"
+#: Completed-task samples required before any hedge may launch.
+HEDGE_MIN_SAMPLES_ENV = "REPRO_HEDGE_MIN_SAMPLES"
+#: Speculative copies allowed per task index per batch.
+HEDGE_MAX_PER_TASK_ENV = "REPRO_HEDGE_MAX_PER_TASK"
+#: Consecutive mid-batch losses before a worker's circuit breaker opens
+#: (the daemon is quarantined instead of endlessly re-dialed).
+BREAKER_THRESHOLD_ENV = "REPRO_BREAKER_THRESHOLD"
+#: Base quarantine length, batches; doubles per consecutive trip.
+BREAKER_COOLDOWN_ENV = "REPRO_BREAKER_COOLDOWN_BATCHES"
+#: Seconds slept between executor ready waves (0 = none).  A chaos/test
+#: knob: it widens the window in which a coordinator can be killed
+#: mid-query with a known number of waves checkpointed.
+WAVE_DELAY_ENV = "REPRO_WAVE_DELAY_S"
 
 #: Valid values for ``REPRO_EXEC_BACKEND``.
 EXEC_BACKENDS = ("serial", "thread", "process", "distributed")
@@ -286,6 +325,32 @@ class ExecutionSettings:
     blob_max_age_s: float = 7 * 86400.0
     #: Worker in-memory decoded-blob cache entry cap.
     blob_mem_entries: int = 64
+    #: Wave checkpointing: persist completed ready-wave job outputs by
+    #: digest so retries/restarts resume instead of recomputing.
+    checkpoint: bool = False
+    #: Per-wave checkpoint payload cap (bytes); oversize waves skip.
+    checkpoint_max_bytes: int = 64 * MB
+    #: Session-journal directory (``repro serve``); None = no journal.
+    journal_dir: Optional[str] = None
+    #: fsync after every journal append (off trades the crash-safe tail
+    #: for speed; replay tolerates the torn tail either way).
+    journal_fsync: bool = True
+    #: Straggler hedging on the distributed backend.
+    hedge: bool = True
+    #: Completed-duration quantile used as the straggler baseline.
+    hedge_quantile: float = 0.95
+    #: Hedge once elapsed > quantile * factor.
+    hedge_factor: float = 3.0
+    #: Completed samples required before hedging arms.
+    hedge_min_samples: int = 3
+    #: Speculative copies allowed per task index per batch.
+    hedge_max_per_task: int = 1
+    #: Consecutive mid-batch worker losses before the breaker opens.
+    breaker_threshold: int = 3
+    #: Base quarantine, batches; doubles per consecutive trip.
+    breaker_cooldown_batches: int = 8
+    #: Sleep between executor ready waves, seconds (chaos/test knob).
+    wave_delay_s: float = 0.0
 
     @classmethod
     def from_env(
@@ -331,6 +396,22 @@ class ExecutionSettings:
             blob_max_bytes=_env_int(BLOB_MAX_BYTES_ENV, 1 << 30, env),
             blob_max_age_s=_env_float(BLOB_MAX_AGE_ENV, 7 * 86400.0, env),
             blob_mem_entries=_env_int(BLOB_MEM_ENTRIES_ENV, 64, env, minimum=1),
+            checkpoint=env.get(CHECKPOINT_ENV, "0") == "1",
+            checkpoint_max_bytes=_env_int(CHECKPOINT_MAX_BYTES_ENV, 64 * MB, env),
+            journal_dir=env.get(JOURNAL_DIR_ENV) or None,
+            journal_fsync=env.get(JOURNAL_FSYNC_ENV, "1") != "0",
+            hedge=env.get(HEDGE_ENV, "1") != "0",
+            hedge_quantile=min(
+                1.0, _env_float(HEDGE_QUANTILE_ENV, 0.95, env, minimum=0.0)
+            ),
+            hedge_factor=_env_float(HEDGE_FACTOR_ENV, 3.0, env, minimum=1.0),
+            hedge_min_samples=_env_int(HEDGE_MIN_SAMPLES_ENV, 3, env, minimum=1),
+            hedge_max_per_task=_env_int(HEDGE_MAX_PER_TASK_ENV, 1, env),
+            breaker_threshold=_env_int(BREAKER_THRESHOLD_ENV, 3, env, minimum=1),
+            breaker_cooldown_batches=_env_int(
+                BREAKER_COOLDOWN_ENV, 8, env, minimum=1
+            ),
+            wave_delay_s=_env_float(WAVE_DELAY_ENV, 0.0, env),
         )
 
     @property

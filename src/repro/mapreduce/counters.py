@@ -105,6 +105,10 @@ class ExecutionReport:
     #: Time spent in result merge steps (Section 4.2), simulated seconds.
     merge_time_s: float = 0.0
     output_records: int = 0
+    #: Jobs restored from the wave-checkpoint tier instead of re-run.
+    checkpoint_hits: int = 0
+    #: Jobs whose output this run persisted into the checkpoint tier.
+    checkpoint_stores: int = 0
 
     @property
     def num_jobs(self) -> int:

@@ -16,10 +16,19 @@ the situation the serve-layer isolation guarantee is about:
 Events with ``at_s > 0`` are armed from a timer thread; ``at_s == 0``
 events arm synchronously in :meth:`ChaosHarness.start`, so a test that
 needs the fault in place before submitting queries can rely on it.
+
+The harness also covers the *coordinator* side of the durability story:
+:func:`wait_for_journal_waves` polls a ``repro serve`` session journal
+until enough completed-wave records are durably on disk, and
+:func:`kill_coordinator` SIGKILLs the daemon — together they script the
+crash-recovery drill (kill mid-query after N checkpointed waves,
+restart with ``--recover``, prove the waves were not re-executed).
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 import time
 from dataclasses import dataclass
@@ -121,3 +130,56 @@ class ChaosHarness:
             return True
         self._thread.join(timeout=timeout_s)
         return not self._thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# coordinator crash drill
+# ----------------------------------------------------------------------
+
+
+def wait_for_journal_waves(
+    journal_path,
+    min_waves: int = 2,
+    timeout_s: float = 30.0,
+    restored: Optional[bool] = False,
+) -> List[dict]:
+    """Poll a serve journal until ``min_waves`` wave records are on disk.
+
+    The journal's fsync-before-ack contract makes this the drill's kill
+    gate: once this returns, those checkpoints survive any SIGKILL that
+    follows.  ``restored`` filters the records counted (``False`` =
+    freshly computed waves only, ``None`` = any); raises ``TimeoutError``
+    with the journal's current shape otherwise.
+    """
+    from repro.storage import read_records
+
+    deadline = time.monotonic() + timeout_s
+    while True:
+        records, _torn = read_records(journal_path)
+        waves = [
+            record
+            for record in records
+            if isinstance(record, dict)
+            and record.get("kind") == "wave"
+            and (restored is None or bool(record.get("restored")) == restored)
+        ]
+        if len(waves) >= min_waves:
+            return waves
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                f"journal never reached {min_waves} wave record(s): "
+                f"{len(records)} record(s), {len(waves)} matching wave(s)"
+            )
+        time.sleep(0.05)
+
+
+def kill_coordinator(proc, timeout_s: float = 10.0) -> None:
+    """SIGKILL a spawned ``repro serve`` subprocess and reap it.
+
+    SIGKILL, not terminate: the drill must model a crash the daemon gets
+    no chance to handle — no atexit, no socket teardown, no final
+    journal flush beyond what ``append`` already fsynced.
+    """
+    if proc.poll() is None:
+        os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=timeout_s)

@@ -37,6 +37,18 @@ Robustness invariants (argued in DESIGN.md, enforced by tests):
   fires once; every layer observes it at a work-item boundary; in-flight
   remote tasks of a dead query are abandoned, not retried; the session
   reaches exactly one terminal state and ``done`` is set exactly once.
+* **Crash recovery** — with ``--journal`` the coordinator appends one
+  durable record per lifecycle event (submit, state, completed-wave
+  checkpoint digest, terminal outcome) to an append-only CRC-framed log
+  (:class:`~repro.storage.journal.SessionJournal`).  ``--recover``
+  replays it on startup, *before* the admitter runs: DONE sessions come
+  back serving their cached result, FAILED/CANCELLED/TIMED_OUT ones
+  their error, and every non-terminal session is re-admitted under its
+  original query id — resuming from its last completed wave via the
+  checkpoint tier (the executor restores by content key; the journal's
+  wave records exist so tests and operators can *prove* which waves
+  were skipped).  A submit is journaled before its session becomes
+  visible, so an acknowledged query id survives any crash after it.
 """
 
 from __future__ import annotations
@@ -68,12 +80,14 @@ from repro.serve.fleet import FleetManager
 from repro.serve.session import (
     ADMITTED,
     DONE,
+    FAILED,
     PLANNING,
     QUEUED,
     RUNNING,
     TERMINAL_STATES,
     QuerySession,
 )
+from repro.storage import SessionJournal
 
 #: Knobs a query may override for its own session.  The fleet address
 #: list is deliberately absent: the fleet is service-owned state (the
@@ -106,11 +120,15 @@ class QueryService:
         max_queue: int = 16,
         default_deadline_s: Optional[float] = None,
         config: Optional[ClusterConfig] = None,
+        journal_path: Optional[str] = None,
+        recover: bool = False,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
         if max_queue < 0:
             raise ValueError("max_queue must be >= 0")
+        if recover and journal_path is None:
+            raise ValueError("--recover requires a journal path")
         self.max_concurrent = max_concurrent
         self.max_queue = max_queue
         self.default_deadline_s = default_deadline_s
@@ -146,6 +164,23 @@ class QueryService:
         self._stats_lock = threading.Lock()
         self._relations_cache: Dict[Tuple[str, int, int], dict] = {}
         self._relations_lock = threading.Lock()
+        self.journal: Optional[SessionJournal] = None
+        if journal_path is not None:
+            self.journal = SessionJournal(
+                journal_path, fsync=execution_settings().journal_fsync
+            )
+        self.recovered: Dict[str, object] = {
+            "records": 0,
+            "torn": False,
+            "done": 0,
+            "other_terminal": 0,
+            "resumed": 0,
+            "requeued": 0,
+        }
+        if recover:
+            # Replay must finish before the admitter thread exists:
+            # recovery is the only writer of session state until here.
+            self._recover_from_journal()
         self._admitter = threading.Thread(
             target=self._admission_loop, daemon=True, name="repro-serve-admit"
         )
@@ -155,6 +190,88 @@ class QueryService:
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
+
+    # -- durability ------------------------------------------------------
+
+    def _journal_append(self, record: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _recover_from_journal(self) -> None:
+        """Fold the journal into live session state (startup only).
+
+        Replay is order-tolerant per query id: the submit record carries
+        the spec, the *last* state record the frontier, and a terminal
+        record (when present) wins outright.  Non-terminal sessions are
+        re-created under their original ids with **fresh** deadline
+        budgets — a query should not be timed out for the coordinator's
+        crash — and queue up for normal admission; their completed waves
+        come back from the checkpoint tier by content key, not from the
+        journal.
+        """
+        records, torn = self.journal.replay()
+        specs: Dict[str, dict] = {}
+        states: Dict[str, str] = {}
+        terminals: Dict[str, dict] = {}
+        order: list = []
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            qid = record.get("id")
+            if not isinstance(qid, str):
+                continue
+            kind = record.get("kind")
+            if kind == "submit":
+                if qid not in specs:
+                    order.append(qid)
+                specs[qid] = record.get("spec") or {}
+            elif kind == "state":
+                states[qid] = str(record.get("state"))
+            elif kind == "terminal":
+                terminals[qid] = record
+        max_id = 0
+        for qid in order:
+            try:
+                max_id = max(max_id, int(qid.lstrip("q")))
+            except ValueError:
+                pass
+        self._ids = itertools.count(max_id + 1)
+        for qid in order:
+            spec = specs[qid]
+            session = QuerySession(
+                query_id=qid,
+                sql=str(spec.get("sql", "")),
+                workload=str(spec.get("workload", "mobile")),
+                volume=int(spec.get("volume", 0) or 0),
+                seed=int(spec.get("seed", 0) or 0),
+                method=str(spec.get("method", "ours")),
+                deadline_s=spec.get("deadline_s"),
+                knobs=spec.get("knobs") or {},
+            )
+            terminal = terminals.get(qid)
+            if terminal is not None:
+                state = str(terminal.get("state", FAILED))
+                if state not in TERMINAL_STATES:
+                    state = FAILED
+                session.restore_terminal(
+                    state,
+                    error=terminal.get("error"),
+                    result=terminal.get("result") if state == DONE else None,
+                )
+                self._sessions[qid] = session
+                key = "done" if state == DONE else "other_terminal"
+                self.recovered[key] += 1
+                continue
+            self._sessions[qid] = session
+            self._queue.append(session)
+            key = (
+                "resumed"
+                if states.get(qid) in (ADMITTED, PLANNING, RUNNING)
+                else "requeued"
+            )
+            self.recovered[key] += 1
+        self.recovered["records"] = len(records)
+        self.recovered["torn"] = bool(torn)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -291,6 +408,23 @@ class QueryService:
                 knobs=knobs,
             )
             self._sessions[session.query_id] = session
+            # Durable before visible: once the client holds this query
+            # id, a crash-and-recover coordinator still knows the query.
+            self._journal_append(
+                {
+                    "kind": "submit",
+                    "id": session.query_id,
+                    "spec": {
+                        "sql": session.sql,
+                        "workload": session.workload,
+                        "volume": session.volume,
+                        "seed": session.seed,
+                        "method": session.method,
+                        "deadline_s": session.deadline_s,
+                        "knobs": dict(session.knobs),
+                    },
+                }
+            )
             self._queue.append(session)
             with self._stats_lock:
                 self.stats["submitted"] += 1
@@ -315,6 +449,9 @@ class QueryService:
                 self._release_slot()
                 continue
             session.transition(ADMITTED)
+            self._journal_append(
+                {"kind": "state", "id": session.query_id, "state": ADMITTED}
+            )
             threading.Thread(
                 target=self._run_session,
                 args=(session,),
@@ -351,6 +488,18 @@ class QueryService:
         if key:
             with self._stats_lock:
                 self.stats[key] += 1
+        # Every terminal path funnels through here, so this is the one
+        # place the journal learns a session's outcome (rows for DONE —
+        # that is what lets a recovered coordinator serve cached results).
+        self._journal_append(
+            {
+                "kind": "terminal",
+                "id": session.query_id,
+                "state": session.state,
+                "error": session.error,
+                "result": session.result if session.state == DONE else None,
+            }
+        )
 
     # -- session execution ----------------------------------------------
 
@@ -382,10 +531,31 @@ class QueryService:
         from repro.mapreduce.runtime import SimulatedCluster
         from repro.relational.sql import parse_join_query
 
+        on_wave = None
+        if self.journal is not None:
+            query_id = session.query_id
+
+            def on_wave(job_id: str, digest: str, restored: bool) -> None:
+                # One durable record per completed (or restored) wave:
+                # the recovery drill reads these to prove which waves a
+                # restarted coordinator did NOT re-execute.
+                self._journal_append(
+                    {
+                        "kind": "wave",
+                        "id": query_id,
+                        "job_id": job_id,
+                        "digest": digest,
+                        "restored": restored,
+                    }
+                )
+
         try:
             overrides = self._session_overrides(session)
             with settings_scope(overrides), cancel_scope(session.token):
                 session.transition(PLANNING)
+                self._journal_append(
+                    {"kind": "state", "id": session.query_id, "state": PLANNING}
+                )
                 check_cancelled()
                 relations = self._relations(
                     session.workload, session.volume, session.seed
@@ -398,9 +568,12 @@ class QueryService:
                     plan = planner.plan(query)
                 check_cancelled()
                 session.transition(RUNNING)
-                outcome = PlanExecutor(SimulatedCluster(self._config)).execute(
-                    plan, query
+                self._journal_append(
+                    {"kind": "state", "id": session.query_id, "state": RUNNING}
                 )
+                outcome = PlanExecutor(
+                    SimulatedCluster(self._config), on_wave=on_wave
+                ).execute(plan, query)
             report = outcome.report
             session.complete(
                 {
@@ -410,6 +583,8 @@ class QueryService:
                     "makespan_s": report.makespan_s,
                     "merge_time_s": report.merge_time_s,
                     "num_jobs": len(report.job_metrics),
+                    "checkpoint_hits": report.checkpoint_hits,
+                    "checkpoint_stores": report.checkpoint_stores,
                 }
             )
         except BaseException as exc:  # noqa: BLE001 - classified by taxonomy
@@ -484,6 +659,19 @@ class QueryService:
         for backend in distributed:
             for name in data_plane:
                 data_plane[name] += backend.counters.get(name, 0)
+        resilience = {
+            "hedges_launched": 0,
+            "hedge_wins": 0,
+            "breaker_trips": 0,
+            "breaker_skips": 0,
+        }
+        breakers: Dict[str, dict] = {}
+        for backend in distributed:
+            for name in resilience:
+                resilience[name] += backend.counters.get(name, 0)
+            breakers.update(backend.breaker_state())
+        from repro.core.executor import checkpoint_counters
+
         counters.update(
             {
                 "queued": queued,
@@ -493,6 +681,11 @@ class QueryService:
                 "fleet": list(self.fleet.addrs),
                 "tasks_in_flight": in_flight,
                 "data_plane": data_plane,
+                "resilience": resilience,
+                "breakers": breakers,
+                "checkpoints": checkpoint_counters(),
+                "journal": self.journal.stats() if self.journal else None,
+                "recovered": dict(self.recovered),
             }
         )
         return counters
@@ -577,6 +770,8 @@ def serve(
     max_concurrent: int = 4,
     max_queue: int = 16,
     default_deadline_s: Optional[float] = None,
+    journal_path: Optional[str] = None,
+    recover: bool = False,
 ) -> int:
     """CLI entry: run one coordinator daemon until interrupted.
 
@@ -589,10 +784,27 @@ def serve(
         max_concurrent=max_concurrent,
         max_queue=max_queue,
         default_deadline_s=default_deadline_s,
+        journal_path=journal_path,
+        recover=recover,
     )
     print(f"repro-serve listening on {service.address}", flush=True)
     if service.fleet.addrs:
         print(f"repro-serve fleet: {','.join(service.fleet.addrs)}", flush=True)
+    if journal_path is not None:
+        recovered = service.recovered
+        print(
+            f"repro-serve journal: {journal_path}"
+            + (
+                f" (recovered {recovered['records']} records: "
+                f"{recovered['done']} done, {recovered['resumed']} resumed, "
+                f"{recovered['requeued']} requeued"
+                + (", torn tail sealed" if recovered["torn"] else "")
+                + ")"
+                if recover
+                else ""
+            ),
+            flush=True,
+        )
     try:
         service.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - operator ctrl-C

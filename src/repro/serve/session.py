@@ -140,6 +140,29 @@ class QuerySession:
             return self.fail(DeadlineExceeded(f"{self.query_id}: deadline exceeded"))
         return self.fail(ServiceError(f"{self.query_id}: session aborted"))
 
+    def restore_terminal(
+        self,
+        state: str,
+        error: Optional[dict] = None,
+        result: Optional[dict] = None,
+    ) -> None:
+        """Journal-replay path: place a *recovered* session directly into
+        a terminal state it reached in a previous process life.
+
+        Bypasses :data:`TRANSITIONS` deliberately — the transition was
+        validated when it originally happened; replay just restates it.
+        Only legal before the session is visible to any other thread
+        (the coordinator restores sessions before its admitter starts).
+        """
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"restore_terminal needs a terminal state, got {state!r}")
+        with self._lock:
+            self.state = state
+            self.error = error
+            self.result = result
+            self.state_times[state] = 0.0
+        self.done.set()
+
     # -- observation -----------------------------------------------------
 
     def snapshot(self) -> dict:

@@ -353,3 +353,85 @@ class TestSelectionAndNesting:
         monkeypatch.setenv("REPRO_EXEC_BACKEND", "process")
         explicit = ExecutionSettings(backend="serial")
         assert get_backend(explicit).name == "serial"
+
+
+class TestCloseSafety:
+    """close()/close_backends() are idempotent and race-safe.
+
+    The serve coordinator closes backends on drain *and* at interpreter
+    exit, sometimes from two threads; a second close must be a no-op and
+    a close racing an in-flight wave must not corrupt the batch."""
+
+    def test_thread_backend_close_twice(self):
+        backend = ThreadBackend(2)
+        assert backend.run_tasks(lambda i: i + 1, 4) == [1, 2, 3, 4]
+        backend.close()
+        backend.close()
+        # A closed backend lazily rebuilds its pool on the next wave.
+        assert backend.run_tasks(lambda i: i * 2, 3) == [0, 2, 4]
+        backend.close()
+
+    def test_process_backend_close_twice(self):
+        backend = ProcessBackend(2)
+        assert backend.run_tasks(lambda i: i + 1, 4) == [1, 2, 3, 4]
+        backend.close()
+        backend.close()
+        assert backend.run_tasks(lambda i: i * 2, 3) == [0, 2, 4]
+        backend.close()
+
+    def test_close_backends_twice(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "2")
+        get_backend().run_tasks(lambda i: i, 2)
+        close_backends()
+        close_backends()  # second sweep sees an empty registry
+
+    def test_concurrent_close_calls_never_double_join(self):
+        import threading
+
+        backend = ThreadBackend(4)
+        backend.run_tasks(lambda i: i, 4)
+        failures = []
+
+        def closer():
+            try:
+                for _ in range(10):
+                    backend.close()
+            except Exception as exc:  # pragma: no cover - the regression
+                failures.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+
+    def test_close_racing_inflight_wave_stays_correct(self):
+        import threading
+        import time
+
+        backend = ThreadBackend(4)
+        release = threading.Event()
+
+        def task(index):
+            release.wait(2.0)
+            time.sleep(0.01)
+            return index * index
+
+        out = []
+        runner = threading.Thread(
+            target=lambda: out.append(backend.run_tasks(task, 8))
+        )
+        runner.start()
+        time.sleep(0.05)  # the wave is in flight on the pool
+        release.set()
+        backend.close()  # races the running wave
+        runner.join()
+        assert out == [[index * index for index in range(8)]]
+
+    def test_distributed_close_twice(self):
+        backend = backend_mod.DistributedBackend(())
+        backend.run_tasks(lambda i: i + 7, 3)
+        backend.close()
+        backend.close()

@@ -1,0 +1,48 @@
+"""The deprecated ``ServiceClient`` alias: warns once, still works."""
+
+import warnings
+
+import pytest
+
+from repro.serve import ServiceClient
+from repro.serve.coordinator import QueryService
+
+MOBILE_SQL = (
+    "SELECT t2.id FROM table t1, table t2 "
+    "WHERE t1.d = t2.d AND t1.bt <= t2.bt"
+)
+
+
+@pytest.fixture
+def service():
+    svc = QueryService(max_concurrent=2, max_queue=8).start()
+    yield svc
+    svc.stop()
+
+
+def test_emits_deprecation_warning_exactly_once(service):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with ServiceClient(service.address, timeout_s=15.0) as client:
+            client.stats()
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "repro.connect" in str(deprecations[0].message)
+    # The warning points at the caller, not at client.py internals.
+    assert deprecations[0].filename == __file__
+
+
+def test_alias_still_round_trips_a_query(service):
+    with pytest.deprecated_call():
+        client = ServiceClient(service.address, timeout_s=15.0)
+    with client:
+        payload = client.run(MOBILE_SQL, timeout_s=60.0)
+    assert payload["rows"]
+    import repro
+
+    with repro.connect(service.address, timeout_s=15.0) as modern:
+        assert modern.run(MOBILE_SQL, timeout_s=60.0)["rows"] == (
+            payload["rows"]
+        )

@@ -1,0 +1,221 @@
+"""Coordinator crash recovery from the session journal (in-process).
+
+A ``QueryService`` built with ``recover=True`` replays its journal
+before the admitter thread starts: terminal sessions come back whole
+(DONE results served from the journal, never re-executed), sessions
+that were in flight re-queue under their original ids with fresh
+deadline budgets, and a torn tail costs at most the record that was
+mid-append.  The subprocess SIGKILL drill lives in
+``test_recovery_subprocess.py``; here every crash is simulated by
+stopping one service and recovering a second from the same journal.
+"""
+
+import pytest
+
+import repro
+from repro.cli import PLANNERS
+from repro.core.executor import PlanExecutor
+from repro.mapreduce.config import ClusterConfig
+from repro.mapreduce.runtime import SimulatedCluster
+from repro.relational.sql import parse_join_query
+from repro.serve.coordinator import QueryService
+from repro.serve.session import DONE, QUEUED, RUNNING, QuerySession
+from repro.storage import SessionJournal, read_records
+from repro.workloads import workload_relations
+
+MOBILE_SQL = (
+    "SELECT t2.id FROM table t1, table t2 "
+    "WHERE t1.d = t2.d AND t1.bt <= t2.bt"
+)
+
+
+def expected_rows(sql=MOBILE_SQL, seed=0, method="ours"):
+    relations = workload_relations("mobile", 0, seed)
+    query = parse_join_query(sql, relations, name="reference")
+    config = ClusterConfig()
+    plan = PLANNERS[method](config).plan(query)
+    outcome = PlanExecutor(SimulatedCluster(config)).execute(plan, query)
+    return [tuple(row) for row in outcome.result.rows]
+
+
+def submit_record(qid, sql=MOBILE_SQL, seed=0):
+    return {
+        "kind": "submit",
+        "id": qid,
+        "spec": {
+            "sql": sql,
+            "workload": "mobile",
+            "volume": 0,
+            "seed": seed,
+            "method": "ours",
+            "deadline_s": None,
+            "knobs": {},
+        },
+    }
+
+
+def wait_rows(service, qid, timeout_s=60.0):
+    with repro.connect(service.address, timeout_s=15.0) as client:
+        return [tuple(row) for row in client.wait(qid, timeout_s=timeout_s)["rows"]]
+
+
+class TestDoneRecovery:
+    def test_done_session_served_from_journal_not_reexecuted(self, tmp_path):
+        journal_path = str(tmp_path / "serve.journal")
+        first = QueryService(journal_path=journal_path).start()
+        try:
+            with repro.connect(first.address, timeout_s=15.0) as client:
+                qid = client.submit(MOBILE_SQL, seed=0)
+                rows = [tuple(r) for r in client.wait(qid, timeout_s=60.0)["rows"]]
+        finally:
+            first.stop()
+        assert rows == expected_rows(seed=0)
+
+        second = QueryService(journal_path=journal_path, recover=True).start()
+        try:
+            assert second.recovered["done"] == 1
+            assert second.recovered["resumed"] == 0
+            # Served straight from the restored terminal record: the
+            # submitted counter never moves, nothing re-runs.
+            assert second.stats["submitted"] == 0
+            assert wait_rows(second, qid, timeout_s=15.0) == rows
+            stats = second.service_stats()
+            assert stats["recovered"]["done"] == 1
+            assert stats["journal"]["bytes"] > 0
+        finally:
+            second.stop()
+
+    def test_recovered_ids_never_collide(self, tmp_path):
+        journal_path = str(tmp_path / "serve.journal")
+        first = QueryService(journal_path=journal_path).start()
+        try:
+            with repro.connect(first.address, timeout_s=15.0) as client:
+                qid = client.submit(MOBILE_SQL, seed=0)
+                client.wait(qid, timeout_s=60.0)
+        finally:
+            first.stop()
+        second = QueryService(journal_path=journal_path, recover=True).start()
+        try:
+            with repro.connect(second.address, timeout_s=15.0) as client:
+                fresh = client.submit(MOBILE_SQL, seed=1)
+            assert fresh != qid
+            assert int(fresh.lstrip("q")) > int(qid.lstrip("q"))
+        finally:
+            second.stop()
+
+
+class TestCrashMidFlight:
+    def test_running_session_resumes_and_completes(self, tmp_path, monkeypatch):
+        """A journal whose last word on q1 is RUNNING (no terminal):
+        recovery re-queues it under its original id and it runs to DONE
+        with the reference rows."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_CHECKPOINT", "1")
+        journal_path = tmp_path / "serve.journal"
+        journal = SessionJournal(journal_path, fsync=False)
+        journal.append(submit_record("q1"))
+        journal.append({"kind": "state", "id": "q1", "state": RUNNING})
+        journal.close()
+
+        service = QueryService(
+            journal_path=str(journal_path), recover=True
+        ).start()
+        try:
+            assert service.recovered["resumed"] == 1
+            assert wait_rows(service, "q1") == expected_rows(seed=0)
+            assert service._sessions["q1"].state == DONE
+        finally:
+            service.stop()
+        # The rerun journaled its own lifecycle into the same file.
+        records, torn = read_records(journal_path)
+        assert not torn
+        kinds = [r["kind"] for r in records if r.get("id") == "q1"]
+        assert kinds.count("terminal") == 1
+
+    def test_resumed_session_restores_checkpointed_waves(
+        self, tmp_path, monkeypatch
+    ):
+        """With a warm checkpoint tier, the resumed run replays every
+        wave from storage instead of recomputing it."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_CHECKPOINT", "1")
+        journal_path = str(tmp_path / "serve.journal")
+
+        first = QueryService(journal_path=journal_path).start()
+        try:
+            with repro.connect(first.address, timeout_s=15.0) as client:
+                qid = client.submit(MOBILE_SQL, seed=0)
+                payload = client.wait(qid, timeout_s=60.0)
+                rows = [tuple(r) for r in payload["rows"]]
+                assert payload["checkpoint_stores"] > 0
+        finally:
+            first.stop()
+
+        # Forge the crash: strip q1's terminal record so recovery sees a
+        # query that died mid-flight, with its waves already persisted.
+        records, torn = read_records(journal_path)
+        assert not torn
+        survivors = [r for r in records if r.get("kind") != "terminal"]
+        rewritten = SessionJournal(tmp_path / "rewritten.journal", fsync=False)
+        for record in survivors:
+            rewritten.append(record)
+        rewritten.close()
+
+        second = QueryService(
+            journal_path=str(tmp_path / "rewritten.journal"), recover=True
+        ).start()
+        try:
+            assert second.recovered["resumed"] == 1
+            with repro.connect(second.address, timeout_s=15.0) as client:
+                payload = client.wait(qid, timeout_s=60.0)
+            assert [tuple(r) for r in payload["rows"]] == rows
+            # Zero re-executed waves: the resume was all restores.
+            assert payload["checkpoint_hits"] > 0
+            assert payload["checkpoint_stores"] == 0
+        finally:
+            second.stop()
+
+    def test_queued_session_is_readmitted(self, tmp_path):
+        journal_path = tmp_path / "serve.journal"
+        journal = SessionJournal(journal_path, fsync=False)
+        journal.append(submit_record("q7", seed=3))
+        journal.close()
+        service = QueryService(
+            journal_path=str(journal_path), recover=True
+        ).start()
+        try:
+            assert service.recovered["requeued"] == 1
+            assert wait_rows(service, "q7") == expected_rows(seed=3)
+        finally:
+            service.stop()
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        journal_path = tmp_path / "serve.journal"
+        journal = SessionJournal(journal_path, fsync=False)
+        journal.append(submit_record("q1"))
+        journal.close()
+        with open(journal_path, "ab") as handle:
+            handle.write(b"\x07\x00\x00")  # crash mid-header
+        service = QueryService(
+            journal_path=str(journal_path), recover=True
+        ).start()
+        try:
+            assert service.recovered["torn"] is True
+            assert service.recovered["requeued"] == 1
+            assert wait_rows(service, "q1") == expected_rows(seed=0)
+        finally:
+            service.stop()
+
+
+class TestGuards:
+    def test_recover_requires_a_journal(self):
+        with pytest.raises(ValueError, match="journal"):
+            QueryService(recover=True)
+
+    def test_restore_terminal_rejects_non_terminal_states(self):
+        session = QuerySession(query_id="q1", sql=MOBILE_SQL)
+        with pytest.raises(ValueError):
+            session.restore_terminal(QUEUED)
+        session.restore_terminal(DONE, result={"rows": []})
+        assert session.state == DONE
+        assert session.done.is_set()

@@ -1,4 +1,4 @@
-"""The unified storage API: one protocol, two tiers, no internals.
+"""The unified storage API: one protocol, three tiers, no internals.
 
 :mod:`repro.storage` is the single surface callers use — both disk
 stores satisfy the :class:`~repro.storage.base.BlobStore` protocol where
@@ -15,10 +15,13 @@ from repro.storage import (
     KeyedDiskStore,
     LRUTable,
     blob_digest,
+    checkpoint_tier,
     clear_tiers,
     planning_tier,
     tier_stats,
 )
+
+TIERS = ("planning", "checkpoints", "blobs")
 
 
 @pytest.fixture(autouse=True)
@@ -69,33 +72,41 @@ class TestTiers:
     def populate(self, cache_root):
         planning = planning_tier()
         planning.store("samples", ("fingerprint", "a", 10), [1, 2, 3])
+        checkpoint_tier().store(
+            "waves", ("wave-key",), {"digest": "d" * 64, "bytes": 16}
+        )
         blobs = DiskBlobStore(cache_root / "blobs")
         payload = b"blob payload" * 50
         blobs.put(blob_digest(payload), payload)
 
-    def test_tier_stats_reports_both_tiers(self, _cache_env):
+    def test_tier_stats_reports_every_tier(self, _cache_env):
         self.populate(_cache_env)
         stats = tier_stats()
-        assert set(stats) == {"planning", "blobs"}
-        assert stats["planning"]["entries"] == 1
-        assert stats["blobs"]["entries"] == 1
-        assert stats["planning"]["root"] == str(_cache_env / "planning")
-        assert stats["blobs"]["root"] == str(_cache_env / "blobs")
+        assert set(stats) == set(TIERS)
+        for tier in TIERS:
+            assert stats[tier]["entries"] == 1
+            assert stats[tier]["root"] == str(_cache_env / tier)
 
-    def test_clear_tiers_clears_both(self, _cache_env):
+    def test_clear_tiers_clears_all(self, _cache_env):
         self.populate(_cache_env)
         removed = clear_tiers()
-        assert removed == {"planning": 1, "blobs": 1}
+        assert removed == {"planning": 1, "checkpoints": 1, "blobs": 1}
         stats = tier_stats()
-        assert stats["planning"]["entries"] == 0
-        assert stats["blobs"]["entries"] == 0
+        for tier in TIERS:
+            assert stats[tier]["entries"] == 0
 
     def test_clear_tiers_scoped_to_one_tier(self, _cache_env):
         self.populate(_cache_env)
         assert clear_tiers(only="blobs") == {"blobs": 1}
         stats = tier_stats()
         assert stats["planning"]["entries"] == 1
+        assert stats["checkpoints"]["entries"] == 1
         assert stats["blobs"]["entries"] == 0
+
+    def test_clear_tiers_scoped_to_checkpoints(self, _cache_env):
+        self.populate(_cache_env)
+        assert clear_tiers(only="checkpoints") == {"checkpoints": 1}
+        assert tier_stats()["planning"]["entries"] == 1
 
     def test_stats_on_cold_machine_create_nothing(self, _cache_env):
         tier_stats()

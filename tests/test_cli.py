@@ -264,6 +264,31 @@ class TestCacheCommand:
         assert "total" in out and "0 entries" in out
         assert not target.exists()  # stats must not create the directory
 
+    def test_stats_on_missing_dir_reports_every_tier_zeroed(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "never-created"
+        assert main(["--cache-dir", str(target), "cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        for tier in ("planning", "checkpoints", "blobs"):
+            assert str(target / tier) in out
+        assert out.count("0 entr") >= 3  # every tier totals to zero
+        assert not target.exists()
+
+    def test_clear_on_missing_dir_creates_nothing(self, tmp_path, capsys):
+        target = tmp_path / "never-created"
+        assert main(["--cache-dir", str(target), "cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("removed 0") == 3
+        assert not target.exists()
+
+    def test_clear_only_checkpoints_choice(self, tmp_path, capsys):
+        target = tmp_path / "cache"
+        assert main(["--cache-dir", str(target),
+                     "cache", "clear", "--only", "checkpoints"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0" in out and "checkpoints" in out
+
     def test_clear_removes_every_entry(self, tmp_path, capsys):
         target = tmp_path / "cache"
         self.run_plan(target)
