@@ -12,7 +12,10 @@
 #   make serve-smoke - boot a real `repro serve` daemon + 2 worker daemons
 #                   and drive 3 concurrent queries over the wire: one
 #                   checked against a serial reference, one cancelled,
-#                   one past its deadline (structured taxonomy errors)
+#                   one past its deadline (structured taxonomy errors);
+#                   plus the two-client fairness drill (vip priority
+#                   beats a bulk flood under quotas) and a paginated
+#                   large-result fetch checked page-by-page
 #   make serve-recovery - the durability drill: SIGKILL a journaled
 #                   coordinator mid-query, restart it with --recover,
 #                   and check the resumed query replays its checkpointed

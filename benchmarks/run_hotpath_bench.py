@@ -515,6 +515,52 @@ def bench_serve_recovery():
         shutil.rmtree(root, ignore_errors=True)
 
 
+def bench_serve_fairness():
+    """High-priority latency under a low-priority flood (PR 10).
+
+    One-slot service, warm caches.  Each round floods the queue with
+    low-priority submits from one tenant, then submits a priority-9
+    query from another tenant and measures its submit-to-rows latency —
+    the time fair scheduling takes to get an urgent query past a
+    saturated queue (bounded by one in-flight query, never by queue
+    depth).  Reports the p99 (max over rounds, few samples) as
+    ``serve_fairness_p99_s``.  Returns ``None`` on pre-scheduler
+    checkouts.
+    """
+    try:
+        from repro import connect
+        from repro.serve.coordinator import QueryService
+        from repro.serve.scheduler import FairScheduler  # noqa: F401 — gate
+    except ImportError:  # pre-PR checkout: FIFO admission only
+        return None
+
+    sql = (
+        "SELECT t2.id FROM table t1, table t2 "
+        "WHERE t1.d = t2.d AND t1.bt <= t2.bt"
+    )
+    service = QueryService(max_concurrent=1, max_queue=32).start()
+    try:
+        with connect(service.address, timeout_s=60.0) as client:
+            client.run(sql)  # warm planning + relations caches
+            latencies = []
+            for round_no in range(5):
+                flood = [
+                    client.submit(sql, seed=0, client_id="bulk", priority=0)
+                    for _ in range(6)
+                ]
+                start = time.perf_counter()
+                vip = client.submit(sql, seed=0, client_id="vip", priority=9)
+                client.wait(vip, timeout_s=60.0)
+                latencies.append(time.perf_counter() - start)
+                for qid in flood:
+                    client.wait(qid, timeout_s=120.0)
+            latencies.sort()
+            index = min(len(latencies) - 1, int(len(latencies) * 0.99))
+            return round(latencies[index], 4)
+    finally:
+        service.stop()
+
+
 def bench_checkpoint_overhead():
     """Wave-checkpointing tax on a cold end-to-end run (PR 9).
 
@@ -613,6 +659,7 @@ def main() -> None:
         "warm_disk_plan_s": bench_warm_disk_plan(),
         "serve_query_latency_s": bench_serve_query_latency(),
         "serve_recovery_s": bench_serve_recovery(),
+        "serve_fairness_p99_s": bench_serve_fairness(),
         "end_to_end_fig10_q2_20gb_s": bench_end_to_end(),
     }
     # Benches that don't exist on this checkout return None; drop the

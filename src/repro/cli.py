@@ -315,6 +315,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_s=args.default_deadline_s or None,
         journal_path=journal_path,
         recover=args.recover,
+        client_max_running=args.client_max_running,
+        client_max_queued=args.client_max_queued,
+        aging_s=args.aging_s,
     )
 
 
@@ -330,8 +333,10 @@ def cmd_query(args: argparse.Namespace) -> int:
             raise SystemExit(f"--set expects NAME=VALUE, got {entry!r}")
         knobs[name] = value
     try:
-        with repro.connect(args.addr) as client:
-            result = client.run(
+        with repro.connect(
+            args.addr, client_id=args.client_id, priority=args.priority
+        ) as client:
+            query_id = client.execute(
                 args.sql,
                 workload=args.workload,
                 volume=args.volume,
@@ -339,8 +344,23 @@ def cmd_query(args: argparse.Namespace) -> int:
                 method=args.method,
                 deadline_s=args.deadline_s or None,
                 knobs=knobs,
-                timeout_s=args.timeout,
             )
+            if args.page_size:
+                # Stream the rows in bounded pages, then pull the report
+                # numbers from a one-row page (pages carry the full
+                # result metadata alongside their row slice).
+                rows = list(
+                    client.iter_rows(
+                        query_id,
+                        page_size=args.page_size,
+                        timeout_s=args.timeout,
+                    )
+                )
+                meta = client.result(query_id, timeout_s=30.0, offset=0, limit=1)
+                result = dict(meta["result"])
+                result["rows"] = rows
+            else:
+                result = client.wait(query_id, timeout_s=args.timeout)
     except ServiceError as exc:
         print(f"query failed [{exc.code}]: {exc}", file=sys.stderr)
         return 1
@@ -614,6 +634,23 @@ def make_parser() -> argparse.ArgumentParser:
         "it, re-admit interrupted queries (they resume from their last "
         "checkpointed wave)",
     )
+    serve_cmd.add_argument(
+        "--client-max-running", type=int, default=None, metavar="N",
+        help="per-client concurrency-slot quota (0 = none; default "
+        "$REPRO_CLIENT_MAX_RUNNING)",
+    )
+    serve_cmd.add_argument(
+        "--client-max-queued", type=int, default=None, metavar="N",
+        help="per-client queue-seat quota; over it submits are shed with "
+        "a structured quota-exceeded error (0 = none; default "
+        "$REPRO_CLIENT_MAX_QUEUED)",
+    )
+    serve_cmd.add_argument(
+        "--aging-s", type=float, default=None, metavar="SECONDS",
+        help="anti-starvation aging: a queued query gains one priority "
+        "level per this many seconds waited (0 = off; default "
+        "$REPRO_SCHED_AGING_S)",
+    )
     serve_cmd.set_defaults(func=cmd_serve)
 
     query = sub.add_parser(
@@ -641,6 +678,20 @@ def make_parser() -> argparse.ArgumentParser:
         help="client-side wait budget, seconds",
     )
     query.add_argument("--limit", type=int, default=10, help="result rows shown")
+    query.add_argument(
+        "--client-id", default="default", metavar="NAME",
+        help="tenant this query is accounted to (fair-share scheduling)",
+    )
+    query.add_argument(
+        "--priority", type=int, default=1, metavar="0-9",
+        help="scheduling priority (higher dequeues first; aged to "
+        "prevent starvation)",
+    )
+    query.add_argument(
+        "--page-size", type=int, default=0, metavar="ROWS",
+        help="stream the result in pages of this many rows instead of "
+        "one frame (0 = unpaginated)",
+    )
     query.set_defaults(func=cmd_query)
 
     cache = sub.add_parser(

@@ -43,11 +43,25 @@ from repro.mapreduce import wire
 
 
 class Client:
-    """Blocking client over one connection; safe for one thread."""
+    """Blocking client over one connection; safe for one thread.
 
-    def __init__(self, addr: str, timeout_s: float = 30.0) -> None:
+    ``client_id`` names the tenant every submit is accounted to (the
+    service's fair scheduler isolates load per client id); ``priority``
+    is the default urgency of this client's submits, both overridable
+    per call.
+    """
+
+    def __init__(
+        self,
+        addr: str,
+        timeout_s: float = 30.0,
+        client_id: str = "default",
+        priority: int = 1,
+    ) -> None:
         self.addr = addr
         self.timeout_s = timeout_s
+        self.client_id = client_id
+        self.priority = priority
         self._sock: Optional[socket.socket] = None
 
     # -- connection ------------------------------------------------------
@@ -112,9 +126,12 @@ class Client:
         method: str = "ours",
         deadline_s: Optional[float] = None,
         knobs: Optional[Dict[str, str]] = None,
+        client_id: Optional[str] = None,
+        priority: Optional[int] = None,
     ) -> str:
         """Enqueue a query; returns its id (raises ``AdmissionRejected``
-        on load shed, before the query costs the service anything)."""
+        on load shed — or ``QuotaExceeded`` on this client's fair-share
+        quota — before the query costs the service anything)."""
         spec = {
             "sql": sql,
             "workload": workload,
@@ -123,6 +140,8 @@ class Client:
             "method": method,
             "deadline_s": deadline_s,
             "knobs": dict(knobs or {}),
+            "client_id": self.client_id if client_id is None else client_id,
+            "priority": self.priority if priority is None else priority,
         }
         reply = self._raise_if_error(self._call(("submit", spec)))
         if reply[0] != "submitted":
@@ -141,10 +160,70 @@ class Client:
         reply = self._raise_if_error(self._call(("cancel", query_id, reason)))
         return reply[1]
 
-    def result(self, query_id: str, timeout_s: float = 60.0) -> dict:
-        """One bounded wait for the terminal payload (may be non-terminal)."""
-        reply = self._raise_if_error(self._call(("result", query_id, timeout_s)))
+    def result(
+        self,
+        query_id: str,
+        timeout_s: float = 60.0,
+        offset: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """One bounded wait for the terminal payload (may be non-terminal).
+
+        ``offset``/``limit`` request one *page* of the DONE result: its
+        ``result`` dict then carries the row slice plus ``total_rows``,
+        ``offset``, and ``next_offset`` (``None`` on the last page).
+        Left at ``None``, the full result comes back in one frame — or a
+        ``ResultTooLarge`` error steers you to :meth:`iter_rows`.
+        """
+        if offset is None and limit is None:
+            message: tuple = ("result", query_id, timeout_s)
+        else:
+            message = ("result", query_id, timeout_s, offset, limit)
+        reply = self._raise_if_error(self._call(message))
         return reply[1]
+
+    def iter_rows(
+        self,
+        query_id: str,
+        page_size: int = 10_000,
+        timeout_s: float = 300.0,
+    ):
+        """Stream a DONE result's rows page by page.
+
+        Yields rows in result order; consecutive pages concatenate
+        bit-identically to the unpaginated ``rows`` list, so
+        ``list(client.iter_rows(qid))`` equals
+        ``client.wait(qid)["rows"]`` without ever shipping a frame
+        larger than ~``page_size`` rows.  Raises the query's taxonomy
+        error if it ended non-DONE.
+        """
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        deadline = time.monotonic() + timeout_s
+        offset = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"query {query_id} still streaming after {timeout_s}s"
+                )
+            payload = self.result(
+                query_id,
+                timeout_s=min(remaining, 30.0),
+                offset=offset,
+                limit=page_size,
+            )
+            if not payload.get("terminal"):
+                continue
+            if payload.get("error"):
+                raise error_from_wire(payload["error"])
+            page = payload.get("result") or {}
+            for row in page.get("rows") or []:
+                yield row
+            next_offset = page.get("next_offset")
+            if next_offset is None:
+                return
+            offset = next_offset
 
     def wait(self, query_id: str, timeout_s: float = 300.0) -> dict:
         """Block until the query is terminal; raises its taxonomy error.
@@ -199,7 +278,12 @@ class Client:
             self.close()
 
 
-def connect(addr: str, timeout_s: float = 30.0) -> Client:
+def connect(
+    addr: str,
+    timeout_s: float = 30.0,
+    client_id: str = "default",
+    priority: int = 1,
+) -> Client:
     """Dial a ``repro serve`` service and return a connected :class:`Client`.
 
     The returned client is a context manager; ``with repro.connect(addr)
@@ -208,4 +292,6 @@ def connect(addr: str, timeout_s: float = 30.0) -> Client:
     dial, :class:`~repro.errors.ServiceError` on a bad handshake) rather
     than on the first call.
     """
-    return Client(addr, timeout_s=timeout_s).connect()
+    return Client(
+        addr, timeout_s=timeout_s, client_id=client_id, priority=priority
+    ).connect()

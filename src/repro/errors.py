@@ -72,6 +72,28 @@ class AdmissionRejected(ServiceError):
     code = "admission-rejected"
 
 
+class QuotaExceeded(AdmissionRejected):
+    """Per-client fair-share quota hit: this *client* already holds its
+    allowed share of queue seats (``REPRO_CLIENT_MAX_QUEUED``) or
+    concurrency slots.  A subclass of :class:`AdmissionRejected` so
+    pre-quota clients that catch the broad shed error keep working; the
+    distinct code tells a multi-tenant client it should back off while
+    *other* clients are still being admitted."""
+
+    code = "quota-exceeded"
+
+
+class ResultTooLarge(ServiceError):
+    """A result payload would exceed the service's per-frame byte budget
+    (``REPRO_RESULT_MAX_BYTES``, never above the wire's hard frame cap).
+    The query is DONE and its result is intact server-side — re-fetch it
+    in pages with ``offset``/``limit`` (:meth:`repro.client.Client.iter_rows`)
+    instead of one monolithic frame.  ``details`` carries ``total_rows``
+    and a suggested ``page_size``."""
+
+    code = "result-too-large"
+
+
 class DeadlineExceeded(ServiceError):
     """The query's deadline budget ran out; execution stopped at the next
     cooperative checkpoint and in-flight remote tasks were abandoned."""
@@ -105,6 +127,8 @@ SERVICE_ERROR_CODES: Dict[str, type] = {
     for cls in (
         ServiceError,
         AdmissionRejected,
+        QuotaExceeded,
+        ResultTooLarge,
         DeadlineExceeded,
         QueryCancelled,
         FleetExhausted,

@@ -218,6 +218,31 @@ BREAKER_COOLDOWN_ENV = "REPRO_BREAKER_COOLDOWN_BATCHES"
 #: knob: it widens the window in which a coordinator can be killed
 #: mid-query with a known number of waves checkpointed.
 WAVE_DELAY_ENV = "REPRO_WAVE_DELAY_S"
+#: Anti-starvation aging rate of the serve scheduler: a queued query
+#: gains one effective priority level per this many seconds waited, so a
+#: low-priority session under a high-priority flood is delayed a bounded
+#: (priority-gap x aging) time, never forever.  0 disables aging (pure
+#: priority order).
+SCHED_AGING_ENV = "REPRO_SCHED_AGING_S"
+#: Per-client concurrency quota of the serve scheduler: at most this
+#: many of one client's queries run at once (0 = no per-client cap; the
+#: global ``--max-concurrent`` still binds).
+CLIENT_MAX_RUNNING_ENV = "REPRO_CLIENT_MAX_RUNNING"
+#: Per-client queue-depth quota: further submits from a client already
+#: holding this many queue seats are shed with a structured
+#: ``quota-exceeded`` error (0 = no per-client cap).
+CLIENT_MAX_QUEUED_ENV = "REPRO_CLIENT_MAX_QUEUED"
+#: Byte budget of one ``result`` reply frame from ``repro serve``.  A
+#: DONE result whose encoded payload would exceed it is refused with a
+#: structured ``result-too-large`` error steering the client to
+#: paginated fetch (``offset``/``limit``) instead of killing the
+#: connection with an unframeable reply.
+RESULT_MAX_BYTES_ENV = "REPRO_RESULT_MAX_BYTES"
+#: Inline cap on journaled DONE-result payloads.  Larger results are
+#: spilled to the content-addressed blob tier and the journal records
+#: only their digest, so the journal stays lifecycle-sized instead of
+#: growing with answer volume; recovery reads either form.
+JOURNAL_RESULT_MAX_ENV = "REPRO_JOURNAL_RESULT_MAX_BYTES"
 
 #: Valid values for ``REPRO_EXEC_BACKEND``.
 EXEC_BACKENDS = ("serial", "thread", "process", "distributed")
@@ -351,6 +376,18 @@ class ExecutionSettings:
     breaker_cooldown_batches: int = 8
     #: Sleep between executor ready waves, seconds (chaos/test knob).
     wave_delay_s: float = 0.0
+    #: Serve scheduler: seconds of queue wait worth one priority level
+    #: (anti-starvation aging; 0 = pure priority order).
+    sched_aging_s: float = 30.0
+    #: Serve scheduler: per-client running-query quota (0 = uncapped).
+    client_max_running: int = 0
+    #: Serve scheduler: per-client queued-query quota (0 = uncapped).
+    client_max_queued: int = 0
+    #: Serve result endpoint: max encoded bytes of one result frame.
+    result_max_bytes: int = 1 << 30
+    #: Serve journal: max inline bytes of a journaled DONE result;
+    #: larger results spill to the blob tier by digest.
+    journal_result_max_bytes: int = 1 << 20
 
     @classmethod
     def from_env(
@@ -412,6 +449,13 @@ class ExecutionSettings:
                 BREAKER_COOLDOWN_ENV, 8, env, minimum=1
             ),
             wave_delay_s=_env_float(WAVE_DELAY_ENV, 0.0, env),
+            sched_aging_s=_env_float(SCHED_AGING_ENV, 30.0, env),
+            client_max_running=_env_int(CLIENT_MAX_RUNNING_ENV, 0, env),
+            client_max_queued=_env_int(CLIENT_MAX_QUEUED_ENV, 0, env),
+            result_max_bytes=_env_int(RESULT_MAX_BYTES_ENV, 1 << 30, env, minimum=1),
+            journal_result_max_bytes=_env_int(
+                JOURNAL_RESULT_MAX_ENV, 1 << 20, env
+            ),
         )
 
     @property

@@ -16,6 +16,12 @@ from repro.serve.chaos import ChaosEvent, ChaosHarness, arm_fault
 from repro.serve.client import ServiceClient  # deprecated: use repro.connect
 from repro.serve.coordinator import QueryService, spawn_service
 from repro.serve.fleet import FleetManager, probe_worker
+from repro.serve.scheduler import (
+    PRIORITY_DEFAULT,
+    PRIORITY_MAX,
+    PRIORITY_MIN,
+    FairScheduler,
+)
 from repro.serve.session import (
     ADMITTED,
     CANCELLED,
@@ -36,8 +42,12 @@ __all__ = [
     "ChaosHarness",
     "DONE",
     "FAILED",
+    "FairScheduler",
     "FleetManager",
     "PLANNING",
+    "PRIORITY_DEFAULT",
+    "PRIORITY_MAX",
+    "PRIORITY_MIN",
     "QUEUED",
     "QueryService",
     "QuerySession",

@@ -6,12 +6,17 @@ One long-lived TCP server (same frame protocol as the worker daemons:
   ==========================================  ===============================
   ``("hello", info)``                          handshake; replies
                                                ``("hello-ack", info)``.
-  ``("submit", spec_dict)``                    admit a query; replies
+  ``("submit", spec_dict)``                    admit a query (the spec may
+                                               carry ``client_id`` and
+                                               ``priority``); replies
                                                ``("submitted", query_id)`` or
                                                ``("rejected", error_dict)``.
   ``("status", query_id)``                     lifecycle snapshot.
-  ``("result", query_id, timeout_s)``          block (bounded) for the
-                                               terminal payload.
+  ``("result", qid, timeout_s[, off, lim])``   block (bounded) for the
+                                               terminal payload; ``offset`` /
+                                               ``limit`` page the result rows
+                                               (``total_rows`` /
+                                               ``next_offset`` ride along).
   ``("cancel", query_id, reason)``             fire the query's token.
   ``("fleet", None | "h:p,h:p")``              read or re-point the worker
                                                fleet (drain/dial live).
@@ -21,10 +26,20 @@ One long-lived TCP server (same frame protocol as the worker daemons:
 
 Robustness invariants (argued in DESIGN.md, enforced by tests):
 
-* **Bounded admission** — at most ``max_queue`` queries wait and
+* **Bounded, fair admission** — at most ``max_queue`` queries wait and
   ``max_concurrent`` run; query ``max_queue + 1`` is rejected in O(1)
   with a structured ``admission-rejected`` error, before any planning
-  work happens.  An overloaded service stays responsive.
+  work happens.  An overloaded service stays responsive.  Within the
+  bound, dequeue order is the :class:`~repro.serve.scheduler`'s:
+  priority with anti-starvation aging, per-client running/queue quotas
+  (``quota-exceeded`` is its own taxonomy code), and fair interleaving
+  between equal-priority tenants.  The shed/quota check and the queue
+  append happen under one ``_cond`` scope, so concurrent submits can
+  never overshoot either bound.
+* **Bounded replies** — a DONE result whose pickled payload would blow
+  the wire's frame cap (or ``REPRO_RESULT_MAX_BYTES``) is *not* sent;
+  the client gets a structured ``result-too-large`` error steering it
+  to paginated fetch, and the session stays DONE and servable.
 * **Session isolation** — every query runs on its own thread with its
   own :class:`~repro.mapreduce.runtime.SimulatedCluster` (own HDFS
   namespace), its own knob scope
@@ -57,10 +72,14 @@ import itertools
 import os
 import socket
 import threading
-from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.errors import AdmissionRejected, ServiceError, error_to_wire
+from repro.errors import (
+    AdmissionRejected,
+    ResultTooLarge,
+    ServiceError,
+    error_to_wire,
+)
 from repro.mapreduce import wire
 from repro.mapreduce.cancel import cancel_scope, check_cancelled
 from repro.mapreduce.config import (
@@ -77,6 +96,12 @@ from repro.mapreduce.config import (
     settings_scope,
 )
 from repro.serve.fleet import FleetManager
+from repro.serve.scheduler import (
+    PRIORITY_DEFAULT,
+    PRIORITY_MAX,
+    PRIORITY_MIN,
+    FairScheduler,
+)
 from repro.serve.session import (
     ADMITTED,
     DONE,
@@ -87,7 +112,12 @@ from repro.serve.session import (
     TERMINAL_STATES,
     QuerySession,
 )
-from repro.storage import SessionJournal
+from repro.storage import (
+    SessionJournal,
+    blob_tier,
+    externalize_value,
+    resolve_value,
+)
 
 #: Knobs a query may override for its own session.  The fleet address
 #: list is deliberately absent: the fleet is service-owned state (the
@@ -122,6 +152,9 @@ class QueryService:
         config: Optional[ClusterConfig] = None,
         journal_path: Optional[str] = None,
         recover: bool = False,
+        client_max_running: Optional[int] = None,
+        client_max_queued: Optional[int] = None,
+        aging_s: Optional[float] = None,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
@@ -134,6 +167,22 @@ class QueryService:
         self.default_deadline_s = default_deadline_s
         self._config = config or ClusterConfig()
         self.fleet = FleetManager()
+        settings = execution_settings()
+        self._sched = FairScheduler(
+            max_queue=max_queue,
+            max_concurrent=max_concurrent,
+            client_max_running=(
+                settings.client_max_running
+                if client_max_running is None
+                else client_max_running
+            ),
+            client_max_queued=(
+                settings.client_max_queued
+                if client_max_queued is None
+                else client_max_queued
+            ),
+            aging_s=settings.sched_aging_s if aging_s is None else aging_s,
+        )
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -142,8 +191,6 @@ class QueryService:
         self.host, self.port = self._listener.getsockname()[:2]
 
         self._sessions: Dict[str, QuerySession] = {}
-        self._queue: Deque[QuerySession] = deque()
-        self._running = 0
         self._cond = threading.Condition()
         self._closing = False
         self._ids = itertools.count(1)
@@ -169,6 +216,7 @@ class QueryService:
             self.journal = SessionJournal(
                 journal_path, fsync=execution_settings().journal_fsync
             )
+        self._journal_blobs = None
         self.recovered: Dict[str, object] = {
             "records": 0,
             "torn": False,
@@ -176,6 +224,7 @@ class QueryService:
             "other_terminal": 0,
             "resumed": 0,
             "requeued": 0,
+            "spill_lost": 0,
         }
         if recover:
             # Replay must finish before the admitter thread exists:
@@ -191,11 +240,23 @@ class QueryService:
     def address(self) -> str:
         return f"{self.host}:{self.port}"
 
+    @property
+    def _running(self) -> int:
+        """Live slot count, owned by the scheduler since PR 10."""
+        return self._sched.total_running
+
     # -- durability ------------------------------------------------------
 
     def _journal_append(self, record: dict) -> None:
         if self.journal is not None:
             self.journal.append(record)
+
+    def _journal_blob_store(self):
+        """The blob tier oversized journal values spill to (lazy; a
+        journal-less service never touches the cache directory)."""
+        if self._journal_blobs is None:
+            self._journal_blobs = blob_tier()
+        return self._journal_blobs
 
     def _recover_from_journal(self) -> None:
         """Fold the journal into live session state (startup only).
@@ -238,6 +299,10 @@ class QueryService:
         self._ids = itertools.count(max_id + 1)
         for qid in order:
             spec = specs[qid]
+            try:
+                priority = int(spec.get("priority", PRIORITY_DEFAULT))
+            except (TypeError, ValueError):
+                priority = PRIORITY_DEFAULT
             session = QuerySession(
                 query_id=qid,
                 sql=str(spec.get("sql", "")),
@@ -247,23 +312,40 @@ class QueryService:
                 method=str(spec.get("method", "ours")),
                 deadline_s=spec.get("deadline_s"),
                 knobs=spec.get("knobs") or {},
+                client_id=str(spec.get("client_id") or "default"),
+                priority=min(PRIORITY_MAX, max(PRIORITY_MIN, priority)),
             )
             terminal = terminals.get(qid)
             if terminal is not None:
                 state = str(terminal.get("state", FAILED))
                 if state not in TERMINAL_STATES:
                     state = FAILED
+                result = None
+                if state == DONE:
+                    # The journaled result may be a blob-tier reference
+                    # (spilled at terminal time).  A lost spill is not a
+                    # lost query: fall through to re-admission and let
+                    # deterministic re-execution rebuild the rows.
+                    result, ok = resolve_value(
+                        terminal.get("result"), self._journal_blob_store()
+                    )
+                    if not ok:
+                        self.recovered["spill_lost"] += 1
+                        terminal = None
+            if terminal is not None:
                 session.restore_terminal(
                     state,
                     error=terminal.get("error"),
-                    result=terminal.get("result") if state == DONE else None,
+                    result=result,
                 )
                 self._sessions[qid] = session
                 key = "done" if state == DONE else "other_terminal"
                 self.recovered[key] += 1
                 continue
             self._sessions[qid] = session
-            self._queue.append(session)
+            # Quotas govern *new* load; work already admitted in a past
+            # process life is re-seated unconditionally.
+            self._sched.enqueue(session, force=True)
             key = (
                 "resumed"
                 if states.get(qid) in (ADMITTED, PLANNING, RUNNING)
@@ -310,8 +392,7 @@ class QueryService:
         """Close the listener, cancel live sessions, wake everything."""
         with self._cond:
             self._closing = True
-            queued = list(self._queue)
-            self._queue.clear()
+            queued = self._sched.drain()
             self._cond.notify_all()
         for session in queued:
             session.token.cancel("service shutting down")
@@ -381,22 +462,36 @@ class QueryService:
                 raise AdmissionRejected("'deadline_s' must be a number")
             if deadline_s <= 0:
                 raise AdmissionRejected("'deadline_s' must be > 0")
+        client_id = spec.get("client_id", "default")
+        if not isinstance(client_id, str) or not client_id.strip():
+            raise AdmissionRejected("'client_id' must be a non-empty string")
+        client_id = client_id.strip()
+        if len(client_id) > 128:
+            raise AdmissionRejected("'client_id' must be <= 128 characters")
+        priority = spec.get("priority", PRIORITY_DEFAULT)
+        if (
+            not isinstance(priority, int)
+            or isinstance(priority, bool)
+            or not (PRIORITY_MIN <= priority <= PRIORITY_MAX)
+        ):
+            raise AdmissionRejected(
+                f"'priority' must be an integer in "
+                f"[{PRIORITY_MIN}, {PRIORITY_MAX}]",
+                details={"min": PRIORITY_MIN, "max": PRIORITY_MAX},
+            )
 
         with self._cond:
             if self._closing:
                 raise AdmissionRejected("service is shutting down")
-            if len(self._queue) >= self.max_queue:
+            # Shed/quota check and queue append share this one lock
+            # scope: N concurrent submits racing K free seats admit
+            # exactly K, never K+1 (regression-tested).
+            try:
+                self._sched.check_admit(client_id)
+            except AdmissionRejected:
                 with self._stats_lock:
                     self.stats["rejected"] += 1
-                raise AdmissionRejected(
-                    "admission queue is full",
-                    details={
-                        "queued": len(self._queue),
-                        "running": self._running,
-                        "max_queue": self.max_queue,
-                        "max_concurrent": self.max_concurrent,
-                    },
-                )
+                raise
             session = QuerySession(
                 query_id=f"q{next(self._ids)}",
                 sql=sql,
@@ -406,10 +501,13 @@ class QueryService:
                 method=method,
                 deadline_s=deadline_s,
                 knobs=knobs,
+                client_id=client_id,
+                priority=priority,
             )
             self._sessions[session.query_id] = session
             # Durable before visible: once the client holds this query
-            # id, a crash-and-recover coordinator still knows the query.
+            # id, a crash-and-recover coordinator still knows the query
+            # — and re-admits it under its original client and priority.
             self._journal_append(
                 {
                     "kind": "submit",
@@ -422,10 +520,12 @@ class QueryService:
                         "method": session.method,
                         "deadline_s": session.deadline_s,
                         "knobs": dict(session.knobs),
+                        "client_id": session.client_id,
+                        "priority": session.priority,
                     },
                 }
             )
-            self._queue.append(session)
+            self._sched.enqueue(session, force=True)
             with self._stats_lock:
                 self.stats["submitted"] += 1
             self._cond.notify_all()
@@ -434,19 +534,20 @@ class QueryService:
     def _admission_loop(self) -> None:
         while True:
             with self._cond:
-                while not self._closing and not self._admittable():
+                while not self._closing and not self._sched.has_eligible():
                     self._cond.wait(0.1)
                     self._reap_queued_locked()
                 if self._closing:
                     return
-                session = self._queue.popleft()
-                self._running += 1
+                session = self._sched.pop()
+            if session is None:
+                continue
             if session.token.fired() is not None:
                 # Died while queued (cancel or deadline): terminal now,
                 # never spends a concurrency slot on planning.
                 session.finish_from_token()
                 self._count_terminal(session)
-                self._release_slot()
+                self._release_slot(session)
                 continue
             session.transition(ADMITTED)
             self._journal_append(
@@ -459,23 +560,20 @@ class QueryService:
                 name=f"repro-serve-{session.query_id}",
             ).start()
 
-    def _admittable(self) -> bool:
-        return bool(self._queue) and self._running < self.max_concurrent
-
     def _reap_queued_locked(self) -> None:
         """Terminalize queued sessions whose token already fired, so a
         cancelled/expired query never waits for a concurrency slot just
-        to die.  Caller holds ``self._cond``."""
-        fired = [s for s in self._queue if s.token.fired() is not None]
-        for session in fired:
-            self._queue.remove(session)
-        for session in fired:
+        to die.  Caller holds ``self._cond``.  The scheduler removes all
+        fired sessions in one pass (the PR 6 version re-scanned the
+        deque per removal, O(n^2) when a deadline wave fires), and each
+        is journaled as terminal exactly once, here."""
+        for session in self._sched.reap_fired():
             session.finish_from_token()
             self._count_terminal(session)
 
-    def _release_slot(self) -> None:
+    def _release_slot(self, session: QuerySession) -> None:
         with self._cond:
-            self._running -= 1
+            self._sched.release(session)
             self._cond.notify_all()
 
     def _count_terminal(self, session: QuerySession) -> None:
@@ -488,16 +586,31 @@ class QueryService:
         if key:
             with self._stats_lock:
                 self.stats[key] += 1
+        # _cond is an RLock underneath, so this is safe from the reap
+        # path (which already holds it) and session threads alike.
+        with self._cond:
+            self._sched.note_terminal(session)
+        if self.journal is None:
+            return
         # Every terminal path funnels through here, so this is the one
         # place the journal learns a session's outcome (rows for DONE —
-        # that is what lets a recovered coordinator serve cached results).
+        # that is what lets a recovered coordinator serve cached
+        # results).  Large results spill to the blob tier by digest so
+        # the journal grows with *events*, not answer volume.
+        result = session.result if session.state == DONE else None
+        if result is not None:
+            result, _spilled = externalize_value(
+                result,
+                execution_settings().journal_result_max_bytes,
+                self._journal_blob_store(),
+            )
         self._journal_append(
             {
                 "kind": "terminal",
                 "id": session.query_id,
                 "state": session.state,
                 "error": session.error,
-                "result": session.result if session.state == DONE else None,
+                "result": result,
             }
         )
 
@@ -591,7 +704,7 @@ class QueryService:
             session.fail(exc)
         finally:
             self._count_terminal(session)
-            self._release_slot()
+            self._release_slot(session)
 
     # -- endpoints -------------------------------------------------------
 
@@ -611,9 +724,7 @@ class QueryService:
         session = self._session_or_error(query_id)
         session.token.cancel(reason)
         with self._cond:
-            if session.state == QUEUED and session in self._queue:
-                self._queue.remove(session)
-            else:
+            if not (session.state == QUEUED and self._sched.remove(session)):
                 session = None  # running: its own thread terminalizes it
         if session is not None:
             session.finish_from_token()
@@ -621,26 +732,91 @@ class QueryService:
             return session.snapshot()
         return self.status(query_id)
 
-    def result(self, query_id: str, timeout_s: float = 60.0) -> dict:
+    def result(
+        self,
+        query_id: str,
+        timeout_s: float = 60.0,
+        offset: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> dict:
         """Terminal payload, blocking up to ``timeout_s``.
 
         A non-terminal reply (``terminal: False``) is a *poll timeout*,
         not an error — clients loop.  Errors ride in the snapshot's
         ``error`` field as taxonomy dicts.
+
+        ``offset``/``limit`` page the DONE result's rows: the reply's
+        ``result`` then carries the slice plus ``total_rows``,
+        ``offset``, and ``next_offset`` (``None`` once exhausted), and
+        pages concatenate bit-identically to the unpaginated rows.  An
+        *unpaginated* fetch of a result whose pickled payload exceeds
+        the service's byte budget raises :class:`ResultTooLarge` instead
+        of killing the connection mid-send — the session stays DONE and
+        the same rows remain fetchable page by page.
         """
         session = self._session_or_error(query_id)
         session.done.wait(max(0.0, min(float(timeout_s), 300.0)))
         payload = session.snapshot()
-        if session.state == DONE:
-            payload["result"] = session.result
+        if session.state != DONE:
+            return payload
+        result = session.result or {}
+        max_bytes = min(
+            execution_settings().result_max_bytes, wire.MAX_FRAME_BYTES
+        )
+        if offset is None and limit is None:
+            if session.result_bytes > max_bytes:
+                rows = result.get("rows") or []
+                raise ResultTooLarge(
+                    f"{query_id}: result is ~{session.result_bytes} pickled "
+                    f"bytes (budget {max_bytes}); fetch it in pages",
+                    details={
+                        "query_id": query_id,
+                        "result_bytes": session.result_bytes,
+                        "max_bytes": max_bytes,
+                        "total_rows": len(rows),
+                        "hint": "retry with offset/limit (Client.iter_rows)",
+                    },
+                )
+            payload["result"] = result
+            return payload
+        rows = result.get("rows") or []
+        total_rows = len(rows)
+        try:
+            start, stop, next_offset = wire.page_bounds(total_rows, offset, limit)
+        except ValueError as exc:
+            raise ServiceError(str(exc), details={"query_id": query_id})
+        if total_rows and session.result_bytes > 0:
+            # Proportional estimate: a page of k rows costs about
+            # k/total of the full pickle.  Cheap, and safely below the
+            # frame cap for any sane limit.
+            estimated = session.result_bytes * max(1, stop - start) // total_rows
+            if estimated > max_bytes:
+                raise ResultTooLarge(
+                    f"{query_id}: a {stop - start}-row page is still "
+                    f"~{estimated} pickled bytes (budget {max_bytes}); "
+                    "reduce 'limit'",
+                    details={
+                        "query_id": query_id,
+                        "estimated_bytes": estimated,
+                        "max_bytes": max_bytes,
+                        "total_rows": total_rows,
+                    },
+                )
+        page = dict(result)
+        page["rows"] = rows[start:stop]
+        page["offset"] = start
+        page["total_rows"] = total_rows
+        page["next_offset"] = next_offset
+        payload["result"] = page
         return payload
 
     def service_stats(self) -> dict:
         from repro.mapreduce.backend import _BACKENDS, DistributedBackend
 
         with self._cond:
-            queued = len(self._queue)
-            running = self._running
+            queued = len(self._sched)
+            running = self._sched.total_running
+            scheduler = self._sched.stats()
         with self._stats_lock:
             counters = dict(self.stats)
         distributed = [
@@ -678,6 +854,8 @@ class QueryService:
                 "running": running,
                 "max_concurrent": self.max_concurrent,
                 "max_queue": self.max_queue,
+                "scheduler": scheduler,
+                "clients": scheduler["clients"],
                 "fleet": list(self.fleet.addrs),
                 "tasks_in_flight": in_flight,
                 "data_plane": data_plane,
@@ -704,6 +882,29 @@ class QueryService:
                     return
                 try:
                     wire.send_frame(conn, reply)
+                except wire.WireError as exc:
+                    # Oversized reply refused sender-side before any
+                    # bytes left: the connection is intact, so answer
+                    # with a structured error instead of vanishing.
+                    # (Defense in depth — the result endpoint's byte
+                    # budget should catch this first.)
+                    try:
+                        wire.send_frame(
+                            conn,
+                            (
+                                "error",
+                                error_to_wire(
+                                    ResultTooLarge(
+                                        f"reply exceeds the wire frame cap: {exc}",
+                                        details={
+                                            "hint": "retry with offset/limit"
+                                        },
+                                    )
+                                ),
+                            ),
+                        )
+                    except (OSError, wire.WireError):
+                        return
                 except OSError:
                     return
         finally:
@@ -728,7 +929,9 @@ class QueryService:
                 return ("status", self.status(message[1]))
             if kind == "result":
                 timeout_s = message[2] if len(message) > 2 else 60.0
-                return ("result", self.result(message[1], timeout_s))
+                offset = message[3] if len(message) > 3 else None
+                limit = message[4] if len(message) > 4 else None
+                return ("result", self.result(message[1], timeout_s, offset, limit))
             if kind == "cancel":
                 reason = message[2] if len(message) > 2 else "client cancel"
                 return ("cancelled", self.cancel(message[1], str(reason)))
@@ -772,6 +975,9 @@ def serve(
     default_deadline_s: Optional[float] = None,
     journal_path: Optional[str] = None,
     recover: bool = False,
+    client_max_running: Optional[int] = None,
+    client_max_queued: Optional[int] = None,
+    aging_s: Optional[float] = None,
 ) -> int:
     """CLI entry: run one coordinator daemon until interrupted.
 
@@ -786,6 +992,9 @@ def serve(
         default_deadline_s=default_deadline_s,
         journal_path=journal_path,
         recover=recover,
+        client_max_running=client_max_running,
+        client_max_queued=client_max_queued,
+        aging_s=aging_s,
     )
     print(f"repro-serve listening on {service.address}", flush=True)
     if service.fleet.addrs:

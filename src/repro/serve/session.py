@@ -68,6 +68,8 @@ class QuerySession:
         method: str = "ours",
         deadline_s: Optional[float] = None,
         knobs: Optional[Mapping[str, str]] = None,
+        client_id: str = "default",
+        priority: int = 1,
     ) -> None:
         self.query_id = query_id
         self.sql = sql
@@ -76,6 +78,15 @@ class QuerySession:
         self.seed = seed
         self.method = method
         self.deadline_s = deadline_s
+        self.client_id = client_id
+        self.priority = priority
+        #: Scheduler bookkeeping, stamped by FairScheduler.enqueue().
+        self.sched_seq = 0
+        self.enqueued_at = time.monotonic()
+        #: Pickled size of ``result``, computed once at :meth:`complete`
+        #: so the result endpoint's oversize check never re-pickles per
+        #: poll (and never races a half-assigned result).
+        self.result_bytes = 0
         self.knobs: Dict[str, str] = {
             str(k): str(v) for k, v in (knobs or {}).items()
         }
@@ -110,10 +121,17 @@ class QuerySession:
         fired = self.token.fired()
         if fired is not None:
             return self.finish_from_token()
+        try:
+            from repro.mapreduce.wire import encoded_size
+
+            result_bytes = encoded_size(result)
+        except Exception:
+            result_bytes = 0
         with self._lock:
             if DONE not in TRANSITIONS[self.state]:
                 return False
             self.result = result
+            self.result_bytes = result_bytes
         return self.transition(DONE)
 
     def fail(self, exc: BaseException) -> bool:
@@ -156,10 +174,20 @@ class QuerySession:
         """
         if state not in TERMINAL_STATES:
             raise ValueError(f"restore_terminal needs a terminal state, got {state!r}")
+        if result is not None:
+            try:
+                from repro.mapreduce.wire import encoded_size
+
+                result_bytes = encoded_size(result)
+            except Exception:
+                result_bytes = 0
+        else:
+            result_bytes = 0
         with self._lock:
             self.state = state
             self.error = error
             self.result = result
+            self.result_bytes = result_bytes
             self.state_times[state] = 0.0
         self.done.set()
 
@@ -177,6 +205,8 @@ class QuerySession:
             "state": state,
             "terminal": state in TERMINAL_STATES,
             "error": error,
+            "client_id": self.client_id,
+            "priority": self.priority,
             "deadline_s": self.deadline_s,
             "deadline_remaining_s": remaining,
             "state_times": state_times,

@@ -40,7 +40,13 @@ from repro.storage.base import (
     stable_key_repr,
 )
 from repro.storage.blob import DiskBlobStore
-from repro.storage.journal import SessionJournal, read_records
+from repro.storage.journal import (
+    BLOB_REF_KEY,
+    SessionJournal,
+    externalize_value,
+    read_records,
+    resolve_value,
+)
 from repro.storage.keyed import DISK_FORMAT, KeyedDiskStore
 
 #: The planning tier's tables (samples / statistics / join observations).
@@ -117,6 +123,7 @@ def clear_tiers(settings=None, only: Optional[str] = None) -> Dict[str, int]:
 
 
 __all__ = [
+    "BLOB_REF_KEY",
     "BlobStore",
     "CHECKPOINT_TABLES",
     "DISK_FORMAT",
@@ -130,8 +137,10 @@ __all__ = [
     "blob_tier",
     "checkpoint_tier",
     "clear_tiers",
+    "externalize_value",
     "planning_tier",
     "read_records",
+    "resolve_value",
     "stable_key_repr",
     "tier_stats",
 ]

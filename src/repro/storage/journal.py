@@ -41,6 +41,66 @@ _HEADER = struct.Struct("<II")  # (payload length, CRC32 of payload)
 #: replay attempt a multi-gigabyte read.
 MAX_RECORD_BYTES = 256 * 1024 * 1024
 
+#: Marker key of a journal value that was spilled to the blob tier.  A
+#: record field holding ``{BLOB_REF_KEY: <sha256>, "bytes": n}`` stands
+#: for the pickled object stored content-addressed under that digest.
+BLOB_REF_KEY = "__journal_blob__"
+
+
+def externalize_value(value: object, max_bytes: int, store) -> Tuple[object, bool]:
+    """``(encoded, spilled)`` — spill ``value`` to ``store`` when big.
+
+    Journals record session *lifecycle*; a DONE result's rows can be
+    arbitrarily large, and inlining them makes the journal grow with
+    answer volume instead of event count.  Values whose pickle exceeds
+    ``max_bytes`` are written to the content-addressed blob ``store``
+    (sha256 of the pickled bytes — verify-on-read for free) and replaced
+    by a tiny digest reference.  When the spill *fails* (unwritable
+    store) the value stays inline: durability beats the size cap.  A
+    ``max_bytes`` of 0 or less never spills.
+    """
+    if store is None or max_bytes <= 0:
+        return value, False
+    try:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return value, False
+    if len(payload) <= max_bytes:
+        return value, False
+    digest = _blob_digest(payload)
+    if not store.put(digest, payload):
+        return value, False
+    return {BLOB_REF_KEY: digest, "bytes": len(payload)}, True
+
+
+def resolve_value(encoded: object, store) -> Tuple[object, bool]:
+    """Inverse of :func:`externalize_value`: ``(value, ok)``.
+
+    Inline values pass through untouched (``ok=True``).  A blob
+    reference is fetched (the store re-hashes what it reads, so a
+    corrupt spill reads as a miss) and unpickled; a missing or
+    undecodable spill returns ``(None, False)`` — the caller decides
+    whether that costs a re-execution or just the cached copy.
+    """
+    if not (isinstance(encoded, dict) and BLOB_REF_KEY in encoded):
+        return encoded, True
+    digest = encoded.get(BLOB_REF_KEY)
+    if store is None or not isinstance(digest, str):
+        return None, False
+    payload = store.get(digest)
+    if payload is None:
+        return None, False
+    try:
+        return pickle.loads(payload), True
+    except Exception:
+        return None, False
+
+
+def _blob_digest(payload: bytes) -> str:
+    from repro.storage.base import blob_digest
+
+    return blob_digest(payload)
+
 
 def read_records(path) -> Tuple[List[object], bool]:
     """Replay a journal file; returns ``(records, torn)``.

@@ -1,0 +1,304 @@
+"""Property and unit tests of the fair scheduler (no service, no I/O).
+
+The scheduler is exercised directly with an injected fake clock, so
+aging is deterministic and no test sleeps.  The hypothesis properties
+pin the fairness contract the two-client drill observes end to end:
+
+* quotas are never exceeded — at no point does any client hold more
+  running slots than ``client_max_running`` or more queue seats than
+  ``client_max_queued``;
+* no starvation — with aging on, *every* enqueued session is eventually
+  dequeued however the priorities are stacked against it;
+* priority wins — with aging off and no quota interference, a strictly
+  higher-priority session always dequeues before a lower one.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AdmissionRejected, QuotaExceeded
+from repro.serve.scheduler import (
+    PRIORITY_DEFAULT,
+    PRIORITY_MAX,
+    PRIORITY_MIN,
+    FairScheduler,
+)
+from repro.serve.session import QuerySession
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_session(qid: str, client_id: str = "a", priority: int = PRIORITY_DEFAULT):
+    return QuerySession(
+        query_id=qid, sql="SELECT x FROM t", client_id=client_id, priority=priority
+    )
+
+
+def make_sched(**kwargs):
+    defaults = dict(max_queue=64, max_concurrent=4, clock=FakeClock())
+    defaults.update(kwargs)
+    return FairScheduler(**defaults)
+
+
+class TestAdmission:
+    def test_queue_full_raises_structured_shed(self):
+        sched = make_sched(max_queue=2)
+        sched.enqueue(make_session("q1"))
+        sched.enqueue(make_session("q2"))
+        with pytest.raises(AdmissionRejected) as excinfo:
+            sched.check_admit("a")
+        assert excinfo.value.details["queued"] == 2
+        assert excinfo.value.details["max_queue"] == 2
+
+    def test_client_queue_quota_raises_quota_exceeded(self):
+        sched = make_sched(max_queue=64, client_max_queued=2)
+        sched.enqueue(make_session("q1", "a"))
+        sched.enqueue(make_session("q2", "a"))
+        with pytest.raises(QuotaExceeded) as excinfo:
+            sched.check_admit("a")
+        assert excinfo.value.code == "quota-exceeded"
+        assert excinfo.value.details["client_id"] == "a"
+        assert excinfo.value.details["client_max_queued"] == 2
+        # QuotaExceeded IS an AdmissionRejected: clients catching the
+        # broad shed error keep working unmodified.
+        assert isinstance(excinfo.value, AdmissionRejected)
+        # The quota is per client: another tenant still has seats.
+        sched.check_admit("b")
+
+    def test_force_enqueue_bypasses_quota(self):
+        # The recovery path re-seats sessions admitted in a past life.
+        sched = make_sched(max_queue=1, client_max_queued=1)
+        sched.enqueue(make_session("q1", "a"))
+        sched.enqueue(make_session("q2", "a"), force=True)
+        assert len(sched) == 2
+
+    def test_quota_rejections_are_counted(self):
+        sched = make_sched(client_max_queued=1)
+        sched.enqueue(make_session("q1", "a"))
+        with pytest.raises(QuotaExceeded):
+            sched.check_admit("a")
+        assert sched.client_stats()["a"]["quota_rejected"] == 1
+
+
+class TestDequeue:
+    def test_higher_priority_dequeues_first(self):
+        sched = make_sched(aging_s=0.0)
+        sched.enqueue(make_session("low", "a", priority=1))
+        sched.enqueue(make_session("high", "b", priority=8))
+        assert sched.pop().query_id == "high"
+        assert sched.pop().query_id == "low"
+
+    def test_equal_priority_clients_interleave(self):
+        # Client a bursts 3 queries before b's 3 arrive; fairness must
+        # interleave the two tenants, not drain a's burst first.
+        sched = make_sched(aging_s=0.0, max_concurrent=64)
+        for i in range(3):
+            sched.enqueue(make_session(f"a{i}", "a"))
+        for i in range(3):
+            sched.enqueue(make_session(f"b{i}", "b"))
+        order = [sched.pop().query_id for _ in range(6)]
+        clients = [qid[0] for qid in order]
+        assert clients == ["a", "b", "a", "b", "a", "b"]
+
+    def test_client_running_quota_parks_not_blocks(self):
+        sched = make_sched(aging_s=0.0, client_max_running=1, max_concurrent=4)
+        sched.enqueue(make_session("a1", "a", priority=9))
+        sched.enqueue(make_session("a2", "a", priority=9))
+        sched.enqueue(make_session("b1", "b", priority=0))
+        assert sched.pop().query_id == "a1"
+        # a is at quota: its priority-9 work is parked, b passes it.
+        assert sched.pop().query_id == "b1"
+        assert sched.pop() is None  # only a2 left; a still at quota
+        assert sched.has_eligible() is False
+        sched.release(make_session("a1", "a"))
+        assert sched.has_eligible() is True
+        assert sched.pop().query_id == "a2"
+
+    def test_max_concurrent_bounds_pops(self):
+        sched = make_sched(max_concurrent=2)
+        for i in range(3):
+            sched.enqueue(make_session(f"q{i}"))
+        assert sched.pop() is not None
+        assert sched.pop() is not None
+        assert sched.pop() is None
+        assert sched.total_running == 2
+
+    def test_aging_overtakes_priority(self):
+        clock = FakeClock()
+        sched = make_sched(aging_s=1.0, clock=clock, max_concurrent=64)
+        sched.enqueue(make_session("old-low", "a", priority=0))
+        clock.advance(10.0)  # old-low has aged 10 levels by now
+        sched.enqueue(make_session("new-high", "b", priority=5))
+        assert sched.pop().query_id == "old-low"
+
+    def test_aging_disabled_is_pure_priority(self):
+        clock = FakeClock()
+        sched = make_sched(aging_s=0.0, clock=clock)
+        sched.enqueue(make_session("low", "a", priority=0))
+        clock.advance(1e6)
+        sched.enqueue(make_session("high", "b", priority=5))
+        assert sched.pop().query_id == "high"
+
+
+class TestRemoval:
+    def test_remove_is_idempotent(self):
+        sched = make_sched()
+        session = make_session("q1")
+        sched.enqueue(session)
+        assert sched.remove(session) is True
+        assert sched.remove(session) is False
+        assert sched.client_stats()["a"]["queued"] == 0
+
+    def test_reap_fired_single_pass(self):
+        sched = make_sched()
+        sessions = [make_session(f"q{i}") for i in range(6)]
+        for session in sessions:
+            sched.enqueue(session)
+        for session in sessions[::2]:
+            session.token.cancel("fired")
+        reaped = sched.reap_fired()
+        assert sorted(s.query_id for s in reaped) == ["q0", "q2", "q4"]
+        assert sorted(s.query_id for s in sched.queued_sessions()) == [
+            "q1",
+            "q3",
+            "q5",
+        ]
+        assert sched.reap_fired() == []  # nothing reaped twice
+
+    def test_drain_empties_and_rebalances_counts(self):
+        sched = make_sched()
+        for i in range(4):
+            sched.enqueue(make_session(f"q{i}", client_id=f"c{i % 2}"))
+        drained = sched.drain()
+        assert len(drained) == 4 and len(sched) == 0
+        for stats in sched.client_stats().values():
+            assert stats["queued"] == 0
+
+
+# -- hypothesis properties ------------------------------------------------
+
+# A workload: per-submit (client index, priority).  Interleaved with
+# releases by the executor below.
+submission = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=PRIORITY_MIN, max_value=PRIORITY_MAX),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(subs=st.lists(submission, min_size=1, max_size=40))
+def test_property_quotas_never_exceeded(subs):
+    """Drive arbitrary submit/pop/release schedules; at every step no
+    client exceeds its running or queue quota and the global bounds hold."""
+    clock = FakeClock()
+    sched = FairScheduler(
+        max_queue=8,
+        max_concurrent=3,
+        client_max_running=1,
+        client_max_queued=2,
+        aging_s=5.0,
+        clock=clock,
+    )
+    running = []
+    counter = 0
+    for step, (client_idx, priority) in enumerate(subs):
+        client_id = f"c{client_idx}"
+        counter += 1
+        try:
+            sched.check_admit(client_id)
+        except AdmissionRejected:
+            pass
+        else:
+            sched.enqueue(
+                make_session(f"q{counter}", client_id, priority=priority)
+            )
+        if step % 3 == 2 and running:
+            sched.release(running.pop(0))
+        popped = sched.pop()
+        if popped is not None:
+            running.append(popped)
+        clock.advance(1.0)
+        # Invariants, every step:
+        assert len(sched) <= sched.max_queue
+        assert sched.total_running <= sched.max_concurrent
+        for stats in sched.client_stats().values():
+            assert stats["queued"] <= sched.client_max_queued
+            assert stats["running"] <= sched.client_max_running
+            assert stats["queued"] >= 0 and stats["running"] >= 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(subs=st.lists(submission, min_size=1, max_size=30))
+def test_property_no_starvation_with_aging(subs):
+    """With aging on, every enqueued session is eventually dequeued —
+    whatever adversarial priorities arrive after it."""
+    clock = FakeClock()
+    sched = FairScheduler(
+        max_queue=1024, max_concurrent=1, aging_s=1.0, clock=clock
+    )
+    enqueued = []
+    for i, (client_idx, priority) in enumerate(subs):
+        session = make_session(f"q{i}", f"c{client_idx}", priority=priority)
+        sched.enqueue(session)
+        enqueued.append(session)
+        clock.advance(0.25)
+    popped = []
+    for _ in range(len(enqueued)):
+        session = sched.pop()
+        assert session is not None
+        popped.append(session.query_id)
+        sched.release(session)
+        clock.advance(0.25)
+    assert sorted(popped) == sorted(s.query_id for s in enqueued)
+    assert sched.pop() is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    low=st.integers(min_value=PRIORITY_MIN, max_value=PRIORITY_MAX - 2),
+    gap=st.integers(min_value=2, max_value=PRIORITY_MAX),
+    n_low=st.integers(min_value=1, max_value=6),
+)
+def test_property_priority_respected_without_aging(low, gap, n_low):
+    """Aging off: a session more than one full level above every other
+    dequeues first, regardless of arrival order or client spread."""
+    high = min(PRIORITY_MAX, low + gap)
+    sched = make_sched(aging_s=0.0, max_concurrent=64)
+    for i in range(n_low):
+        sched.enqueue(make_session(f"low{i}", f"c{i % 3}", priority=low))
+    sched.enqueue(make_session("high", "vip", priority=high))
+    assert sched.pop().query_id == "high"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    waits=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=2,
+        max_size=10,
+    )
+)
+def test_property_aged_dequeue_order_is_effective_priority_order(waits):
+    """All else equal (one client, same base priority), dequeue order is
+    exactly longest-waiting first — aging is monotone in wait time."""
+    clock = FakeClock()
+    sched = FairScheduler(
+        max_queue=1024, max_concurrent=1024, aging_s=1.0, clock=clock
+    )
+    for i, wait in enumerate(sorted(waits, reverse=True)):
+        clock.now = 1000.0 - wait  # enqueue q_i 'wait' seconds ago
+        sched.enqueue(make_session(f"q{i}", "a", priority=1))
+    clock.now = 1000.0
+    expected = [f"q{i}" for i in range(len(waits))]
+    got = [sched.pop().query_id for _ in range(len(waits))]
+    assert got == expected

@@ -59,6 +59,22 @@ def wait_rows(service, qid, timeout_s=60.0):
         return [tuple(row) for row in client.wait(qid, timeout_s=timeout_s)["rows"]]
 
 
+def wait_for_terminal_record(journal_path, timeout_s=5.0):
+    """``client.wait`` returns on ``done``; the terminal record lands a
+    beat later from the session thread — poll the journal for it."""
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if any(
+            r.get("kind") == "terminal"
+            for r in read_records(journal_path)[0]
+            if isinstance(r, dict)
+        ):
+            return
+        time.sleep(0.02)
+
+
 class TestDoneRecovery:
     def test_done_session_served_from_journal_not_reexecuted(self, tmp_path):
         journal_path = str(tmp_path / "serve.journal")
@@ -205,6 +221,165 @@ class TestCrashMidFlight:
             assert wait_rows(service, "q1") == expected_rows(seed=0)
         finally:
             service.stop()
+
+
+class TestSchedulingMetadataRecovery:
+    def test_client_and_priority_survive_recovery(self, tmp_path):
+        """Submits are journaled with their scheduling metadata, so a
+        recovered coordinator re-admits sessions under their original
+        tenant and priority — the fairness drill holds across restart."""
+        journal_path = str(tmp_path / "serve.journal")
+        first = QueryService(
+            journal_path=journal_path, max_concurrent=1, max_queue=16
+        ).start()
+        try:
+            with repro.connect(first.address) as client:
+                with first._planning_lock:
+                    client.submit(MOBILE_SQL, client_id="bulk", priority=0)
+                    flood = [
+                        client.submit(
+                            MOBILE_SQL, seed=s, client_id="bulk", priority=0
+                        )
+                        for s in range(1, 4)
+                    ]
+                    vip = client.submit(
+                        MOBILE_SQL, seed=9, client_id="vip", priority=9
+                    )
+                    # "Crash" with everything still queued/running.
+        finally:
+            first.stop()
+
+        second = QueryService(
+            journal_path=journal_path,
+            recover=True,
+            max_concurrent=1,
+            max_queue=16,
+        ).start()
+        try:
+            session = second._sessions[vip]
+            assert session.client_id == "vip"
+            assert session.priority == 9
+            for qid in flood:
+                assert second._sessions[qid].client_id == "bulk"
+                assert second._sessions[qid].priority == 0
+            # Priority survives: vip completes before the flood drains.
+            assert wait_rows(second, vip) == expected_rows(seed=9)
+            for qid in flood:
+                wait_rows(second, qid, timeout_s=120.0)
+            vip_s = second._sessions[vip]
+            vip_admitted = vip_s.submitted_at + vip_s.state_times["ADMITTED"]
+            for qid in flood:
+                s = second._sessions[qid]
+                assert vip_admitted < s.submitted_at + s.state_times["ADMITTED"]
+        finally:
+            second.stop()
+
+    def test_legacy_submit_records_default_scheduling_fields(self, tmp_path):
+        """Pre-PR-10 journals carry no client_id/priority; recovery must
+        default them, not crash."""
+        journal_path = tmp_path / "serve.journal"
+        journal = SessionJournal(journal_path, fsync=False)
+        journal.append(submit_record("q3", seed=1))
+        journal.close()
+        service = QueryService(
+            journal_path=str(journal_path), recover=True
+        ).start()
+        try:
+            session = service._sessions["q3"]
+            assert session.client_id == "default"
+            assert session.priority == 1
+            assert wait_rows(service, "q3") == expected_rows(seed=1)
+        finally:
+            service.stop()
+
+
+class TestJournalResultSpill:
+    def test_large_result_spills_and_recovers(self, tmp_path, monkeypatch):
+        """Satellite 4: DONE rows above the inline cap go to the blob
+        tier by digest; the journal stays event-sized and recovery reads
+        the spilled result back bit-identically."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_JOURNAL_RESULT_MAX_BYTES", "256")
+        journal_path = str(tmp_path / "serve.journal")
+        first = QueryService(journal_path=journal_path).start()
+        try:
+            with repro.connect(first.address) as client:
+                qid = client.submit(MOBILE_SQL, volume=20)
+                rows = [
+                    tuple(r)
+                    for r in client.wait(qid, timeout_s=120.0)["rows"]
+                ]
+            wait_for_terminal_record(journal_path)
+        finally:
+            first.stop()
+        # The journal holds a digest reference, not the rows.
+        from repro.storage import BLOB_REF_KEY
+
+        records, torn = read_records(journal_path)
+        assert not torn
+        terminal = [r for r in records if r.get("kind") == "terminal"][0]
+        assert BLOB_REF_KEY in terminal["result"]
+        assert terminal["result"]["bytes"] > 256
+
+        second = QueryService(journal_path=journal_path, recover=True).start()
+        try:
+            assert second.recovered["done"] == 1
+            assert second.recovered["spill_lost"] == 0
+            assert second.stats["submitted"] == 0  # served, not re-run
+            assert wait_rows(second, qid, timeout_s=15.0) == rows
+        finally:
+            second.stop()
+
+    def test_lost_spill_falls_back_to_reexecution(self, tmp_path, monkeypatch):
+        """A missing/corrupt spilled blob is not a lost query: recovery
+        re-admits the session and deterministic re-execution rebuilds
+        the identical rows."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_JOURNAL_RESULT_MAX_BYTES", "256")
+        journal_path = str(tmp_path / "serve.journal")
+        first = QueryService(journal_path=journal_path).start()
+        try:
+            with repro.connect(first.address) as client:
+                qid = client.submit(MOBILE_SQL, volume=20)
+                rows = [
+                    tuple(r)
+                    for r in client.wait(qid, timeout_s=120.0)["rows"]
+                ]
+            wait_for_terminal_record(journal_path)
+        finally:
+            first.stop()
+        import shutil
+
+        shutil.rmtree(tmp_path / "cache" / "blobs")
+
+        second = QueryService(journal_path=journal_path, recover=True).start()
+        try:
+            assert second.recovered["spill_lost"] == 1
+            assert second.recovered["done"] == 0
+            # Its last journaled state was RUNNING, so it re-admits on
+            # the resumed path (checkpointed waves restore from disk).
+            assert second.recovered["resumed"] == 1
+            assert wait_rows(second, qid, timeout_s=120.0) == rows
+        finally:
+            second.stop()
+
+    def test_small_result_stays_inline(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        journal_path = str(tmp_path / "serve.journal")
+        first = QueryService(journal_path=journal_path).start()
+        try:
+            with repro.connect(first.address) as client:
+                qid = client.submit(MOBILE_SQL)
+                client.wait(qid, timeout_s=60.0)
+            wait_for_terminal_record(journal_path)
+        finally:
+            first.stop()
+        from repro.storage import BLOB_REF_KEY
+
+        records, _torn = read_records(journal_path)
+        terminal = [r for r in records if r.get("kind") == "terminal"][0]
+        assert isinstance(terminal["result"], dict)
+        assert BLOB_REF_KEY not in terminal["result"]
 
 
 class TestGuards:

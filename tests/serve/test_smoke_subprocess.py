@@ -100,3 +100,79 @@ def test_serve_smoke_over_subprocess_daemons():
             if proc.poll() is None:
                 proc.kill()
             proc.wait()
+
+
+def test_serve_fairness_and_pagination_over_subprocess_daemon():
+    """PR 10 CI leg: two-client fairness drill + paginated large result
+    against a real daemon.
+
+    A low-priority flood from one tenant saturates the single slot; the
+    high-priority tenant's query, submitted last with a deadline, must
+    still complete inside it (priority dequeue + quota isolation).  Then
+    a result bigger than the page size streams out page by page,
+    bit-identical to the unpaginated reference.
+    """
+    proc, service_addr = spawn_service(
+        extra_args=(
+            "--max-concurrent",
+            "1",
+            "--max-queue",
+            "16",
+            "--client-max-queued",
+            "8",
+        ),
+    )
+    try:
+        with repro.connect(service_addr, timeout_s=30.0) as client:
+            # Saturate: one running + 5 queued low-priority queries.
+            flood = [
+                client.submit(
+                    SQL, seed=seed, client_id="bulk", priority=0
+                )
+                for seed in range(6)
+            ]
+            vip = client.submit(
+                SQL,
+                seed=9,
+                client_id="vip",
+                priority=9,
+                deadline_s=90.0,
+            )
+            rows = client.wait(vip, timeout_s=90.0)["rows"]
+            assert rows == serial_reference_rows(seed=9)
+
+            # Per-client quota: seat 9 for 'bulk' sheds structurally.
+            from repro.errors import QuotaExceeded
+
+            with repro.connect(
+                service_addr, timeout_s=30.0, client_id="bulk"
+            ) as bulk:
+                try:
+                    for seed in range(20, 40):
+                        bulk.submit(SQL, seed=seed)
+                except QuotaExceeded as exc:
+                    assert exc.code == "quota-exceeded"
+                    assert exc.details["client_id"] == "bulk"
+                else:  # pragma: no cover - quota must bite
+                    raise AssertionError("bulk flood never hit its quota")
+
+            for qid in flood:
+                client.wait(qid, timeout_s=180.0)
+
+            # Paginated large-result query: pages concatenate to the
+            # reference bit-identically.
+            big = client.submit(SQL, volume=20, seed=0)
+            reference = client.wait(big, timeout_s=120.0)["rows"]
+            assert reference == serial_reference_rows(volume=20, seed=0)
+            paged = list(client.iter_rows(big, page_size=7))
+            assert paged == reference
+
+            stats = client.stats()
+            assert stats["clients"]["vip"]["completed"] == 1
+            assert stats["clients"]["bulk"]["completed"] >= 6
+            assert stats["clients"]["bulk"]["quota_rejected"] >= 1
+            client.shutdown()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()

@@ -182,3 +182,81 @@ class TestConcurrency:
         assert journal.stats()["append_errors"] == 1
         assert journal.append({"fine": 1}) is True
         journal.close()
+
+
+class TestValueSpill:
+    """externalize_value / resolve_value: the journal's blob-tier escape
+    hatch for record fields that grow with answer volume."""
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        from repro.storage import DiskBlobStore
+
+        return DiskBlobStore(
+            tmp_path / "blobs", max_bytes=1 << 20, max_age_s=3600.0
+        )
+
+    def test_small_value_stays_inline(self, store):
+        from repro.storage import externalize_value, resolve_value
+
+        value = {"rows": [(1, 2)]}
+        encoded, spilled = externalize_value(value, 1 << 20, store)
+        assert spilled is False and encoded is value
+        assert resolve_value(encoded, store) == (value, True)
+
+    def test_large_value_round_trips_through_the_blob_tier(self, store):
+        from repro.storage import BLOB_REF_KEY, externalize_value, resolve_value
+
+        value = {"rows": [(i, "x" * 50) for i in range(200)]}
+        encoded, spilled = externalize_value(value, 64, store)
+        assert spilled is True
+        assert BLOB_REF_KEY in encoded and encoded["bytes"] > 64
+        restored, ok = resolve_value(encoded, store)
+        assert ok is True and restored == value
+
+    def test_spill_is_content_addressed(self, store):
+        from repro.storage import BLOB_REF_KEY, blob_digest, externalize_value
+
+        value = ["v"] * 1000
+        encoded, spilled = externalize_value(value, 16, store)
+        assert spilled
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        assert encoded[BLOB_REF_KEY] == blob_digest(payload)
+
+    def test_zero_cap_never_spills(self, store):
+        from repro.storage import externalize_value
+
+        value = ["v"] * 1000
+        assert externalize_value(value, 0, store) == (value, False)
+        assert externalize_value(value, 64, None) == (value, False)
+
+    def test_missing_blob_resolves_to_not_ok(self, store):
+        from repro.storage import BLOB_REF_KEY, resolve_value
+
+        encoded = {BLOB_REF_KEY: "0" * 64, "bytes": 999}
+        assert resolve_value(encoded, store) == (None, False)
+        assert resolve_value(encoded, None) == (None, False)
+
+    def test_corrupt_spill_reads_as_a_miss(self, store, tmp_path):
+        from repro.storage import externalize_value, resolve_value
+
+        value = ["v"] * 1000
+        encoded, spilled = externalize_value(value, 16, store)
+        assert spilled
+        # Flip bytes in the stored blob: verify-on-read must reject it.
+        blob_files = list((tmp_path / "blobs").rglob("*"))
+        blob_file = [p for p in blob_files if p.is_file()][0]
+        blob_file.write_bytes(b"corrupted beyond recognition")
+        assert resolve_value(encoded, store) == (None, False)
+
+    def test_failed_put_keeps_value_inline(self, store):
+        from repro.storage import externalize_value
+
+        class RefusingStore:
+            def put(self, digest, payload):
+                return False
+
+        value = ["v"] * 1000
+        # Durability beats the size cap: an unwritable store never
+        # drops the value from the record.
+        assert externalize_value(value, 16, RefusingStore()) == (value, False)
